@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+identical code path at reduced scale (see DESIGN.md section 3 and
+EXPERIMENTS.md for paper-scale runs).  Workloads are generated once per
+session and reused; the benchmarked callable is the algorithm run, and
+each bench *asserts the paper's qualitative claim* on the result so a
+regression in either speed or shape fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import SyntheticDataGenerator
+from repro.experiments.configs import make_case_config, make_scalability_config
+
+#: A generator seed giving paper-like balanced cluster sizes in both cases.
+BALANCED_SEED = 70
+
+
+@pytest.fixture(scope="session")
+def case1_dataset():
+    """Case-1 workload (all clusters 7-dim, l=7) at bench scale."""
+    cfg = make_case_config(1, n_points=4000, seed=BALANCED_SEED)
+    return SyntheticDataGenerator(cfg.synthetic_config()).generate()
+
+
+@pytest.fixture(scope="session")
+def case2_dataset():
+    """Case-2 workload (cluster dims 7,3,2,6,2; l=4) at bench scale."""
+    cfg = make_case_config(2, n_points=4000, seed=BALANCED_SEED)
+    return SyntheticDataGenerator(cfg.synthetic_config()).generate()
+
+
+@pytest.fixture(scope="session")
+def scalability_dataset():
+    """Figure 7-9 style workload: 5 clusters of dimensionality 5."""
+    cfg = make_scalability_config(3000, 20, 5, seed=7)
+    return SyntheticDataGenerator(cfg).generate()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (experiment-scale runs)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,28 @@
+"""Ablation: the two-step initialization (paper section 2.1).
+
+Paper argument: pure greedy over-selects outliers; pure random sampling
+gives no separation guarantee; greedy *on a sample* gets both benefits.
+The bench verifies the paper's choice is at least as good as the
+alternatives on a Case-1-style workload (in ARI, averaged over seeds).
+"""
+
+from conftest import BALANCED_SEED, run_once
+
+from repro.experiments.ablations import run_initialization_ablation
+
+
+def test_initialization_ablation(benchmark):
+    report = run_once(
+        benchmark, run_initialization_ablation,
+        n_points=3000, n_seeds=3, seed=BALANCED_SEED,
+    )
+
+    rows = {r["variant"]: r for r in report.rows}
+    paper = rows["greedy_on_sample (paper)"]
+    # the paper's strategy is competitive with both alternatives
+    assert paper["ari"] >= rows["random_pool"]["ari"] - 0.10
+    assert paper["ari"] >= rows["greedy_on_full"]["ari"] - 0.10
+    # and produces a usable clustering outright
+    assert paper["ari"] > 0.5
+    # report renders
+    assert "initialization" in report.to_text()

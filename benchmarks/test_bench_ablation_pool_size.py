@@ -1,0 +1,27 @@
+"""Ablation: initialization multipliers A (sample) and B (pool).
+
+The paper leaves A and B unspecified ("constant", "small constant").
+The bench sweeps both and checks the library defaults (A = 30, B = 5)
+sit in the quality plateau: enlarging the sample/pool further does not
+buy meaningful ARI.
+"""
+
+from conftest import BALANCED_SEED, run_once
+
+from repro.experiments.ablations import run_pool_size_ablation
+
+
+def test_pool_size_ablation(benchmark):
+    report = run_once(
+        benchmark, run_pool_size_ablation,
+        n_points=3000, a_values=(15, 30, 60), b_values=(2, 5),
+        seed=BALANCED_SEED,
+    )
+
+    rows = {r["variant"]: r for r in report.rows}
+    assert "A=30,B=5" in rows
+    best_ari = max(r["ari"] for r in report.rows)
+    # the default configuration is within reach of the sweep's best
+    assert rows["A=30,B=5"]["ari"] >= best_ari - 0.2
+    # every configuration yields a finite objective
+    assert all(r["objective"] > 0 for r in report.rows)

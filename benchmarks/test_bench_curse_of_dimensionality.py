@@ -1,0 +1,26 @@
+"""Section-1 motivation bench: the curse of dimensionality, measured.
+
+Paper: "in high dimensional applications it is likely that for any
+given pair of points there exist at least a few dimensions on which the
+points are far apart", and nearest-neighbour contrast collapses ([22]).
+Both effects must reproduce — they are the reason projected clustering
+exists.
+"""
+
+from conftest import run_once
+
+from repro.experiments.curse import run_curse_of_dimensionality
+
+
+def test_curse_of_dimensionality(benchmark):
+    report = run_once(
+        benchmark, run_curse_of_dimensionality,
+        dims=(2, 10, 30), n_points=1500, seed=11,
+    )
+
+    # nearest-neighbour contrast of uniform data collapses with d
+    assert report.contrast_decays()
+    assert report.relative_contrast[0] > 10 * report.relative_contrast[-1]
+    # same-projected-cluster pairs become far apart in some dimension
+    assert report.separation_grows()
+    assert report.far_pair_probability[-1] > 0.95

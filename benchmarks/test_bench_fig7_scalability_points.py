@@ -1,0 +1,33 @@
+"""Figure 7: runtime vs number of points — both linear, PROCLUS faster.
+
+Paper claim: "PROCLUS scales linearly with the number of input points,
+while outperforming CLIQUE by a factor of approximately 10."
+
+Bench-scale check: PROCLUS's log-log slope vs N stays near 1 and
+PROCLUS beats CLIQUE at every size.  (The exact speedup factor is
+implementation- and scale-dependent; the paper's factor 10 is for their
+C CLIQUE at N = 100k..500k.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.scalability import run_scalability_points
+
+
+def test_fig7_runtime_vs_points(benchmark):
+    report = run_once(
+        benchmark, run_scalability_points,
+        sizes=(500, 1000, 2000, 4000), include_clique=True,
+        clique_tau_percent=0.5, clique_max_dim=4, seed=7,
+    )
+
+    proclus_secs = report.series["PROCLUS"]
+    clique_secs = report.series["CLIQUE"]
+
+    # PROCLUS wins at every size
+    assert all(p < c for p, c in zip(proclus_secs, clique_secs))
+    # near-linear scaling for PROCLUS (generous CI tolerance)
+    assert report.slope("PROCLUS") < 1.6
+    # CLIQUE is at least a few times slower on average
+    speedups = report.speedup("PROCLUS", "CLIQUE")
+    assert sum(speedups) / len(speedups) > 2.0

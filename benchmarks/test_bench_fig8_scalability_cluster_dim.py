@@ -1,0 +1,35 @@
+"""Figure 8: runtime vs average cluster dimensionality l.
+
+Paper claim: CLIQUE's running time grows exponentially in the cluster
+dimensionality (consistent with [1]); PROCLUS's "is only slightly
+influenced by l" because the segmental-distance work O(N k l) is
+dominated by the full-dimensional O(N k d) term.
+
+Bench-scale check (l = 3..6): the *absolute* runtime CLIQUE adds over
+the sweep dwarfs what PROCLUS adds — the divergence the paper's Figure
+8 plots — and PROCLUS stays fast in absolute terms throughout.
+"""
+
+from conftest import run_once
+
+from repro.experiments.scalability import run_scalability_cluster_dim
+
+
+def test_fig8_runtime_vs_cluster_dim(benchmark):
+    report = run_once(
+        benchmark, run_scalability_cluster_dim,
+        dims=(3, 4, 5, 6), n_points=1200, include_clique=True, seed=7,
+        proclus_repeats=3,
+    )
+
+    proclus_secs = report.series["PROCLUS"]
+    clique_secs = report.series["CLIQUE"]
+
+    # the runtime CLIQUE adds over the sweep dwarfs PROCLUS's
+    clique_added = clique_secs[-1] - clique_secs[0]
+    proclus_added = proclus_secs[-1] - proclus_secs[0]
+    assert clique_added > 10 * max(proclus_added, 0.0)
+    # PROCLUS remains fast in absolute terms at every l
+    assert max(proclus_secs) < 2.0
+    # CLIQUE is the slower algorithm at every l
+    assert all(c > p for c, p in zip(clique_secs, proclus_secs))

@@ -1,0 +1,24 @@
+"""Figure 9: PROCLUS runtime vs space dimensionality d — linear.
+
+Paper claim: "As expected, PROCLUS scales linearly with the
+dimensionality of the entire space" (d = 20..50 in the paper).
+"""
+
+from conftest import run_once
+
+from repro.experiments.scalability import run_scalability_space_dim
+
+
+def test_fig9_runtime_vs_space_dim(benchmark):
+    report = run_once(
+        benchmark, run_scalability_space_dim,
+        dims=(10, 20, 40), n_points=2000, cluster_dim=5, seed=7,
+    )
+
+    secs = report.series["PROCLUS"]
+    # monotone increase with d
+    assert secs[0] < secs[-1]
+    # near-linear power law (slope ~1; generous CI tolerance)
+    assert report.slope("PROCLUS") < 1.6
+    # quadrupling d must not cost more than ~8x (linear would be ~4x)
+    assert secs[-1] / secs[0] < 8.0

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the numeric kernels dominating PROCLUS runtime.
+
+These are true pytest-benchmark micro-benches (many rounds) for the
+hot paths: segmental-distance assignment (O(N k l) per iteration),
+full-dimensional locality distances (O(N k d)), greedy selection, and
+dimension allocation.  Useful for catching kernel-level performance
+regressions independent of the end-to-end experiments.
+"""
+
+import numpy as np
+
+from repro.core.assignment import assign_points
+from repro.core.dimensions import allocate_dimensions, compute_localities, zscores
+from repro.core.greedy import greedy_select
+from repro.distance.matrix import cross_distances
+
+N, D, K, L = 20_000, 20, 5, 7
+RNG = np.random.default_rng(0)
+X = RNG.uniform(0, 100, size=(N, D))
+MEDOIDS = X[RNG.choice(N, K, replace=False)]
+MEDOID_IDX = np.arange(0, N, N // K)[:K]
+DIM_SETS = [tuple(sorted(RNG.choice(D, L, replace=False).tolist()))
+            for _ in range(K)]
+
+
+def test_kernel_assignment(benchmark):
+    labels = benchmark(assign_points, X, MEDOIDS, DIM_SETS)
+    assert labels.shape == (N,)
+
+
+def test_kernel_full_dim_distances(benchmark):
+    dist = benchmark(cross_distances, X, MEDOIDS, "euclidean")
+    assert dist.shape == (N, K)
+
+
+def test_kernel_localities(benchmark):
+    localities, deltas = benchmark(compute_localities, X, MEDOID_IDX)
+    assert len(localities) == K
+    assert deltas.shape == (K,)
+
+
+def test_kernel_greedy_select(benchmark):
+    sample = X[:1500]
+    idx = benchmark(greedy_select, sample, 25, seed=1)
+    assert idx.shape == (25,)
+
+
+def test_kernel_dimension_allocation(benchmark):
+    stats = RNG.uniform(1, 30, size=(K, D))
+    z = zscores(stats)
+    sets = benchmark(allocate_dimensions, z, K * L, min_per_row=2)
+    assert sum(len(s) for s in sets) == K * L

@@ -1,0 +1,30 @@
+"""Table 3: Case-1 confusion matrix — one dominant entry per row.
+
+Paper claim: "In both cases PROCLUS discovers output clusters in which
+the majority of points comes from one input cluster ... it recognizes
+the natural clustering of the points", with a near-diagonal confusion
+matrix and outliers partially absorbed into clusters (which the paper
+notes "is not necessarily an error").
+"""
+
+from conftest import BALANCED_SEED, run_once
+
+from repro.experiments.accuracy import run_accuracy_case
+
+
+def test_table3_confusion_structure(benchmark):
+    report = run_once(
+        benchmark, run_accuracy_case, 1,
+        n_points=4000, seed=BALANCED_SEED, max_bad_tries=30,
+    )
+
+    # each output cluster dominated by a single input cluster
+    assert report.mean_dominance > 0.8
+    # cluster-to-cluster confusion is marginal
+    assert report.misplaced_fraction < 0.1
+    # the partition agrees with ground truth
+    assert report.ari > 0.7
+    # the rendered table has the paper's layout
+    text = report.confusion.to_table()
+    assert text.splitlines()[0].startswith("Input")
+    assert "Outliers" in text

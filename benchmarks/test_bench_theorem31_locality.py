@@ -1,0 +1,24 @@
+"""Theorem 3.1: expected locality size is N/k under random medoids.
+
+The paper's robustness argument for FindDimensions rests on localities
+being large enough (expected N/k points; section 3).  This bench runs
+the empirical check and verifies the estimate lands near the theorem's
+value.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_locality_theorem_check
+
+
+def test_theorem31_expected_locality_size(benchmark):
+    report = run_once(
+        benchmark, run_locality_theorem_check,
+        n_points=3000, k=5, n_trials=60, seed=42,
+    )
+
+    assert report.expected == 600.0
+    # order-statistics expectation: generous tolerance for sampling noise
+    assert report.relative_error < 0.25
+    # every trial produced positive localities
+    assert all(s > 0 for s in report.observed_per_trial)

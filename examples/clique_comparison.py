@@ -1,0 +1,65 @@
+"""PROCLUS vs CLIQUE on one workload: partition vs dense regions.
+
+Reproduces the substance of the paper's section 4.2 comparison on a
+single small workload: PROCLUS returns a partition with per-cluster
+dimensions; CLIQUE returns overlapping dense regions in many subspaces,
+quantified by the paper's *average overlap* metric.
+
+Run:  python examples/clique_comparison.py
+"""
+
+import time
+
+from repro import generate, proclus
+from repro.baselines import Clique
+from repro.metrics import (
+    adjusted_rand_index,
+    average_overlap,
+    cluster_points_recovered,
+    confusion_matrix,
+)
+
+
+def main() -> None:
+    dataset = generate(
+        4000, 15, 4, cluster_dim_counts=[5, 5, 5, 5],
+        outlier_fraction=0.05, seed=70,
+    )
+    print(f"workload: {dataset}\n")
+
+    # ---- PROCLUS ------------------------------------------------------
+    t0 = time.perf_counter()
+    pc = proclus(dataset.points, 4, 5, seed=71)
+    pc_secs = time.perf_counter() - t0
+    print(f"PROCLUS ({pc_secs:.2f}s):")
+    print(confusion_matrix(pc.labels, dataset.labels).to_table())
+    print(f"ARI = {adjusted_rand_index(pc.labels, dataset.labels):.3f}; "
+          f"every point in exactly one cluster (or outlier)\n")
+
+    # ---- CLIQUE -------------------------------------------------------
+    t0 = time.perf_counter()
+    clique = Clique(xi=10, tau=0.005, max_dimensionality=6).fit(dataset.points)
+    cq_secs = time.perf_counter() - t0
+    res = clique.result
+    print(f"CLIQUE ({cq_secs:.2f}s): {res.summary()}\n")
+
+    top = res.clusters_of_dimensionality(5)
+    memberships = [c.point_indices for c in top]
+    print(f"restricted to the generated dimensionality (5):")
+    print(f"  clusters reported   = {len(top)} (4 were generated)")
+    print(f"  average overlap     = {average_overlap(memberships):.2f} "
+          "(1.0 would be a partition)")
+    print(f"  cluster points kept = "
+          f"{100 * cluster_points_recovered(memberships, dataset.labels):.1f}%")
+
+    print(
+        "\nCLIQUE finds where the data is dense in every subspace — useful,"
+        "\nbut points appear in many regions and a large share of each"
+        "\nGaussian cluster falls outside the axis-parallel dense cells."
+        "\nWhen a partition is needed, the paper concludes, PROCLUS is the"
+        "\nmethod of choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Figure 1's argument, executable: why global feature selection fails.
+
+The paper's introduction shows two patterns in 3-D: one cluster tight in
+the x-y plane, another tight in the x-z plane.  "Traditional feature
+selection does not work in this case, as each dimension is relevant to
+at least one of the clusters", and full-dimensional clustering misses
+both since each cluster is spread out along one dimension.
+
+This example builds exactly that configuration (plus noise dimensions),
+then compares:
+
+* k-means in the full space,
+* global feature selection (keep the most compact dimensions) + k-means,
+* PROCLUS.
+
+Run:  python examples/feature_selection_failure.py
+"""
+
+import numpy as np
+
+from repro import proclus
+from repro.baselines import FeatureSelectionClustering, kmeans
+from repro.metrics import adjusted_rand_index
+
+
+def figure1_dataset(n_per_cluster=1000, n_noise_dims=5, seed=3):
+    """Cluster 0 tight in (x, y), cluster 1 tight in (x, z); extra
+    dimensions are pure noise.  Both clusters share dimension x with
+    *different* centres, like the paper's cross-section figure."""
+    rng = np.random.default_rng(seed)
+    d = 3 + n_noise_dims
+
+    a = rng.uniform(0, 100, size=(n_per_cluster, d))
+    a[:, 0] = rng.normal(30.0, 1.5, n_per_cluster)   # x
+    a[:, 1] = rng.normal(70.0, 1.5, n_per_cluster)   # y
+    # z left uniform: cluster 0 is spread out along z
+
+    b = rng.uniform(0, 100, size=(n_per_cluster, d))
+    b[:, 0] = rng.normal(60.0, 1.5, n_per_cluster)   # x
+    b[:, 2] = rng.normal(20.0, 1.5, n_per_cluster)   # z
+    # y left uniform: cluster 1 is spread out along y
+
+    X = np.vstack([a, b])
+    y = np.repeat([0, 1], n_per_cluster)
+    perm = rng.permutation(X.shape[0])
+    return X[perm], y[perm]
+
+
+def main() -> None:
+    X, y = figure1_dataset()
+    print(f"dataset: {X.shape[0]} points, {X.shape[1]} dimensions")
+    print("cluster 0 lives in (x=0, y=1); cluster 1 in (x=0, z=2)\n")
+
+    km = kmeans(X, 2, seed=1)
+    km_ari = adjusted_rand_index(km.labels, y, include_outliers=True)
+    print(f"k-means, full space:            ARI = {km_ari:.3f}")
+
+    fs = FeatureSelectionClustering(2, 2, seed=1).fit(X)
+    fs_ari = adjusted_rand_index(fs.labels_, y, include_outliers=True)
+    kept = fs.selected_dims_.tolist()
+    print(f"feature selection (kept {kept}): ARI = {fs_ari:.3f}")
+
+    pc = proclus(X, 2, 2, seed=1, handle_outliers=False)
+    pc_ari = adjusted_rand_index(pc.labels, y, include_outliers=True)
+    print(f"PROCLUS:                        ARI = {pc_ari:.3f}")
+    print(f"  recovered dimension sets: "
+          f"{ {c: list(d) for c, d in pc.dimensions.items()} }")
+
+    print(
+        "\nGlobal feature selection must throw away y or z — each relevant"
+        "\nto one cluster — so one pattern is always lost. PROCLUS assigns"
+        "\neach cluster its own dimensions and finds both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Beyond the paper: clusters in arbitrarily oriented subspaces.
+
+PROCLUS restricts each cluster's subspace to coordinate axes — that is
+what makes its output interpretable ("this segment is defined by
+cooking, gardening, parenting").  But correlations in real data are not
+always axis-aligned.  This example rotates the paper's workload so each
+cluster lives near a low-dimensional affine subspace that no coordinate
+subset describes, then compares PROCLUS with the ORCLUS extension
+(Aggarwal & Yu, SIGMOD 2000 — the future-work direction of the PROCLUS
+paper).
+
+Run:  python examples/oriented_subspaces.py
+"""
+
+from repro import proclus
+from repro.data import generate, generate_rotated
+from repro.extensions import orclus
+from repro.metrics import adjusted_rand_index
+
+
+def main() -> None:
+    print("axis-parallel workload (the paper's setting)")
+    axis = generate(2000, 12, 3, cluster_dim_counts=[4, 4, 4],
+                    outlier_fraction=0.0, seed=5)
+    p = proclus(axis.points, 3, 4, seed=5, restarts=3)
+    o = orclus(axis.points, 3, 4, seed=5)
+    print(f"  PROCLUS ARI = "
+          f"{adjusted_rand_index(p.labels, axis.labels):.3f} "
+          f"(and it names the dimensions: "
+          f"{ {c: list(d) for c, d in p.dimensions.items()} })")
+    print(f"  ORCLUS  ARI = "
+          f"{adjusted_rand_index(o.labels, axis.labels):.3f} "
+          "(bases are arbitrary vectors — no named dimensions)\n")
+
+    print("the same workload, each cluster rotated about its centre")
+    rotated = generate_rotated(2000, 12, 3, cluster_dim_counts=[4, 4, 4],
+                               outlier_fraction=0.0, seed=5)
+    p = proclus(rotated.points, 3, 4, seed=5)
+    o = orclus(rotated.points, 3, 4, seed=5)
+    print(f"  PROCLUS ARI = "
+          f"{adjusted_rand_index(p.labels, rotated.labels):.3f} "
+          "(no coordinate subset is tight anymore)")
+    print(f"  ORCLUS  ARI = "
+          f"{adjusted_rand_index(o.labels, rotated.labels):.3f} "
+          "(eigen-bases follow the rotation)\n")
+
+    print(
+        "Take-away: PROCLUS trades generality for interpretability and\n"
+        "speed; when correlations leave the coordinate axes, the\n"
+        "generalised (oriented) projected clustering of ORCLUS is needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: generate a projected-clustering workload, run PROCLUS,
+and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Proclus, generate
+from repro.metrics import adjusted_rand_index, confusion_matrix
+
+
+def main() -> None:
+    # 1. A synthetic dataset in the style of the paper's section 4.1:
+    #    10,000 points in 20 dimensions, five clusters each correlated
+    #    in its own 7-dimensional subspace, 5% uniform outliers.
+    dataset = generate(
+        n_points=10_000,
+        n_dims=20,
+        n_clusters=5,
+        cluster_dim_counts=[7] * 5,
+        outlier_fraction=0.05,
+        seed=70,
+    )
+    print(f"workload: {dataset}")
+    print(f"true dimension sets: {dataset.cluster_dimensions}\n")
+
+    # 2. Run PROCLUS with the matching parameters: k clusters of an
+    #    average of l dimensions each.
+    model = Proclus(k=5, l=7, seed=71).fit(dataset.points)
+    result = model.result_
+    print(result.summary(), "\n")
+
+    # 3. Compare against the ground truth the generator recorded.
+    print("confusion matrix (output rows vs input columns):")
+    print(confusion_matrix(result.labels, dataset.labels).to_table())
+    ari = adjusted_rand_index(result.labels, dataset.labels)
+    print(f"\nadjusted Rand index: {ari:.3f}")
+
+    # 4. The per-cluster dimension sets are the paper's headline output:
+    #    each recovered cluster names the dimensions it correlates in.
+    for cid, dims in sorted(result.dimensions.items()):
+        print(f"cluster {cid} lives in dimensions {list(dims)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""A miniature of the paper's Figures 7-9 on your machine.
+
+Runs the three scalability sweeps at reduced scale and prints the
+textual 'figures' with slope estimates.  Pass --full for sizes closer
+to the paper's (expect minutes).
+
+Run:  python examples/scaling_study.py [--full]
+"""
+
+import argparse
+
+from repro.experiments import (
+    run_scalability_cluster_dim,
+    run_scalability_points,
+    run_scalability_space_dim,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="larger sweeps (minutes, closer to the paper)")
+    args = parser.parse_args()
+
+    if args.full:
+        sizes = (5_000, 10_000, 20_000, 40_000)
+        l_dims = (4, 5, 6, 7)
+        d_dims = (20, 30, 40, 50)
+        n_fig8, n_fig9 = 3000, 10_000
+    else:
+        sizes = (500, 1000, 2000, 4000)
+        l_dims = (3, 4, 5)
+        d_dims = (10, 20, 40)
+        n_fig8, n_fig9 = 1200, 2000
+
+    print("=" * 64)
+    fig7 = run_scalability_points(sizes=sizes, include_clique=True,
+                                  clique_max_dim=4, seed=7)
+    print(fig7.to_text())
+    print(f"\nPROCLUS log-log slope vs N: {fig7.slope('PROCLUS'):.2f} "
+          "(1.0 = linear)")
+    speedups = fig7.speedup("PROCLUS", "CLIQUE")
+    print(f"CLIQUE/PROCLUS speedup per point: "
+          f"{', '.join(f'{s:.1f}x' for s in speedups)}")
+
+    print("\n" + "=" * 64)
+    fig8 = run_scalability_cluster_dim(dims=l_dims, n_points=n_fig8,
+                                       include_clique=True, seed=7)
+    print(fig8.to_text())
+    print(f"\ngrowth over the sweep — PROCLUS: "
+          f"{fig8.series['PROCLUS'][-1] / fig8.series['PROCLUS'][0]:.1f}x, "
+          f"CLIQUE: "
+          f"{fig8.series['CLIQUE'][-1] / fig8.series['CLIQUE'][0]:.1f}x "
+          "(the paper: CLIQUE exponential, PROCLUS flat)")
+
+    print("\n" + "=" * 64)
+    fig9 = run_scalability_space_dim(dims=d_dims, n_points=n_fig9, seed=7)
+    print(fig9.to_text())
+    print(f"\nPROCLUS log-log slope vs d: {fig9.slope('PROCLUS'):.2f} "
+          "(1.0 = linear)")
+
+
+if __name__ == "__main__":
+    main()

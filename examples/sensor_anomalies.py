@@ -1,0 +1,50 @@
+"""Outlier handling as anomaly detection on sensor telemetry.
+
+PROCLUS's refinement phase labels a point an outlier when it falls
+outside *every* medoid's sphere of influence (the smallest segmental
+distance from the medoid to another medoid, in the medoid's own
+dimensions).  On a fleet of sensors whose operating modes each pin a
+few metrics to a tight signature, that outlier set is precisely the
+sensors matching no mode — an anomaly detector with per-mode
+explanations (which metrics define the mode a sensor failed to match).
+
+Run:  python examples/sensor_anomalies.py
+"""
+
+import numpy as np
+
+from repro import Proclus
+from repro.data import sensor_fleet_workload
+from repro.metrics import confusion_matrix
+
+
+def main() -> None:
+    fleet = sensor_fleet_workload(
+        n_sensors=2400, n_outliers=120, n_modes=4, seed=13,
+    )
+    print(f"telemetry: {fleet.n_points} sensors x {fleet.n_dims} metrics, "
+          f"{fleet.n_clusters} operating modes, "
+          f"{fleet.n_outliers} true anomalies\n")
+
+    avg_l = np.mean([len(d) for d in fleet.cluster_dimensions.values()])
+    l = round(avg_l * fleet.n_clusters) / fleet.n_clusters  # k*l integral
+    result = Proclus(k=4, l=l, seed=5, restarts=3).fit(fleet.points).result_
+
+    print(confusion_matrix(result.labels, fleet.labels).to_table())
+
+    flagged = set(result.outlier_indices.tolist())
+    true_anomalies = set(np.flatnonzero(fleet.labels == -1).tolist())
+    tp = len(flagged & true_anomalies)
+    precision = tp / len(flagged) if flagged else 0.0
+    recall = tp / len(true_anomalies)
+    print(f"\nanomaly detection: flagged {len(flagged)} sensors, "
+          f"precision {precision:.2f}, recall {recall:.2f}")
+
+    print("\nmode signatures recovered:")
+    for cid, dims in sorted(result.dimensions.items()):
+        metrics = [fleet.metadata["feature_names"][j] for j in dims]
+        print(f"  mode {cid}: {metrics}")
+
+
+if __name__ == "__main__":
+    main()

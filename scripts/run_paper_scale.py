@@ -1,0 +1,101 @@
+"""Produce the paper-vs-measured record for EXPERIMENTS.md.
+
+Runs every experiment at the largest scale that is practical in pure
+Python (accuracy cases at the paper's full N = 100,000; scalability
+sweeps and CLIQUE studies at documented reduced scales) and prints a
+structured report.  Expect ~10-20 minutes.
+
+Run:  python scripts/run_paper_scale.py | tee paper_scale_results.txt
+"""
+
+import time
+
+from repro.experiments import (
+    run_accuracy_case,
+    run_clique_quality,
+    run_initialization_ablation,
+    run_locality_theorem_check,
+    run_min_deviation_ablation,
+    run_pool_size_ablation,
+    run_scalability_cluster_dim,
+    run_scalability_points,
+    run_scalability_space_dim,
+    run_table5_snapshot,
+)
+
+SEED = 70  # balanced cluster sizes in both cases (see benchmarks/conftest.py)
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    t_start = time.time()
+
+    banner("Tables 1 & 3 — Case 1 accuracy at paper scale (N = 100,000)")
+    rep1 = run_accuracy_case(1, n_points=100_000, seed=SEED,
+                             max_bad_tries=40, restarts=3)
+    print(rep1.to_text())
+
+    banner("Tables 2 & 4 — Case 2 accuracy at paper scale (N = 100,000)")
+    rep2 = run_accuracy_case(2, n_points=100_000, seed=SEED,
+                             max_bad_tries=40, restarts=3)
+    print(rep2.to_text())
+
+    banner("Section 4.2 — CLIQUE quality sweep (N = 3,000; tau in percent)")
+    quality = run_clique_quality(n_points=3000, seed=SEED)
+    print(quality.to_text())
+
+    banner("Table 5 — CLIQUE restricted to 7-dim clusters (N = 3,000)")
+    snap = run_table5_snapshot(n_points=3000, seed=SEED)
+    print(snap.to_text())
+
+    banner("Figure 7 — runtime vs N (PROCLUS + CLIQUE)")
+    fig7 = run_scalability_points(
+        sizes=(2000, 4000, 8000, 16000), include_clique=True,
+        clique_max_dim=6, seed=7, proclus_repeats=3,
+    )
+    print(fig7.to_text())
+    print(f"PROCLUS log-log slope: {fig7.slope('PROCLUS'):.2f}")
+    print(f"CLIQUE  log-log slope: {fig7.slope('CLIQUE'):.2f}")
+    print("speedup (CLIQUE/PROCLUS): "
+          + ", ".join(f"{s:.1f}x" for s in fig7.speedup("PROCLUS", "CLIQUE")))
+
+    banner("Figure 8 — runtime vs cluster dimensionality l (N = 3,000)")
+    fig8 = run_scalability_cluster_dim(
+        dims=(4, 5, 6, 7), n_points=3000, include_clique=True, seed=7,
+        proclus_repeats=3,
+    )
+    print(fig8.to_text())
+    print(f"growth l=4 -> 7: PROCLUS "
+          f"{fig8.series['PROCLUS'][-1] / fig8.series['PROCLUS'][0]:.2f}x, "
+          f"CLIQUE {fig8.series['CLIQUE'][-1] / fig8.series['CLIQUE'][0]:.2f}x")
+
+    banner("Figure 9 — runtime vs space dimensionality d (N = 20,000)")
+    fig9 = run_scalability_space_dim(dims=(20, 30, 40, 50), n_points=20_000,
+                                     seed=7)
+    print(fig9.to_text())
+    print(f"PROCLUS log-log slope: {fig9.slope('PROCLUS'):.2f}")
+
+    banner("Theorem 3.1 — expected locality size (N = 10,000, k = 5)")
+    print(run_locality_theorem_check(n_points=10_000, k=5, n_trials=60,
+                                     seed=42).to_text())
+
+    banner("Ablation — initialization strategy (N = 5,000)")
+    print(run_initialization_ablation(n_points=5000, n_seeds=3,
+                                      seed=SEED).to_text())
+
+    banner("Ablation — minDeviation (N = 5,000)")
+    print(run_min_deviation_ablation(n_points=5000, seed=SEED).to_text())
+
+    banner("Ablation — sample/pool multipliers A, B (N = 5,000)")
+    print(run_pool_size_ablation(n_points=5000, seed=SEED).to_text())
+
+    print(f"\ntotal wall clock: {time.time() - t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox lacks the `wheel` package needed for PEP-517 editable
+installs). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

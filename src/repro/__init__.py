@@ -1,0 +1,51 @@
+"""repro — a reproduction of *Fast Algorithms for Projected Clustering*
+(PROCLUS; Aggarwal, Procopiuc, Wolf, Yu, Park; SIGMOD 1999).
+
+The package provides:
+
+* :mod:`repro.core` — the PROCLUS algorithm (the paper's contribution);
+* :mod:`repro.baselines` — CLIQUE, CLARANS/PAM k-medoids, k-means, and a
+  global feature-selection baseline, all implemented from scratch;
+* :mod:`repro.data` — the paper's synthetic workload generator and IO;
+* :mod:`repro.distance` — Lp and Manhattan-segmental distances;
+* :mod:`repro.metrics` — confusion matrices, overlap, dimension
+  recovery, and external/internal validity indices;
+* :mod:`repro.experiments` — runnable reproductions of every table and
+  figure in the paper's evaluation section.
+
+Quickstart::
+
+    from repro import Proclus, generate
+    ds = generate(5000, 20, 5, cluster_dim_counts=[7] * 5, seed=1)
+    result = Proclus(k=5, l=7, seed=1).fit(ds.points)
+    print(result.summary())
+"""
+
+from .core import Proclus, ProclusConfig, ProclusResult, proclus
+from .data import Dataset, OUTLIER_LABEL, SyntheticConfig, generate
+from .exceptions import (
+    ConvergenceWarning,
+    DataError,
+    NotFittedError,
+    ParameterError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Proclus",
+    "proclus",
+    "ProclusConfig",
+    "ProclusResult",
+    "Dataset",
+    "OUTLIER_LABEL",
+    "SyntheticConfig",
+    "generate",
+    "ReproError",
+    "ParameterError",
+    "DataError",
+    "NotFittedError",
+    "ConvergenceWarning",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Baselines the paper compares against or builds upon.
+
+* :mod:`repro.baselines.clique` — CLIQUE (Agrawal et al., SIGMOD 1998),
+  the paper's main comparator, reimplemented from scratch;
+* :mod:`repro.baselines.kmedoids` — PAM and CLARANS (Ng & Han, VLDB
+  1994), the full-dimensional K-medoids methods PROCLUS generalises;
+* :mod:`repro.baselines.kmeans` — Lloyd's algorithm with k-means++
+  seeding, a full-dimensional reference;
+* :mod:`repro.baselines.dbscan` — the density-based family the paper's
+  related work cites ([9], [24]), full-dimensional;
+* :mod:`repro.baselines.feature_selection` — global feature
+  preselection followed by full-dimensional clustering, the strawman
+  the paper's introduction (Figure 1) argues against.
+"""
+
+from .clique import Clique, CliqueCluster, CliqueConfig, CliqueResult
+from .dbscan import DBSCAN, DBSCANResult, dbscan
+from .feature_selection import FeatureSelectionClustering, variance_scores, spread_scores
+from .kmeans import KMeans, kmeans
+from .kmedoids import CLARANS, KMedoidsResult, PAM, clarans, pam
+
+__all__ = [
+    "Clique",
+    "DBSCAN",
+    "DBSCANResult",
+    "dbscan",
+    "CliqueConfig",
+    "CliqueCluster",
+    "CliqueResult",
+    "PAM",
+    "CLARANS",
+    "pam",
+    "clarans",
+    "KMedoidsResult",
+    "KMeans",
+    "kmeans",
+    "FeatureSelectionClustering",
+    "variance_scores",
+    "spread_scores",
+]

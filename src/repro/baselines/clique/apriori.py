@@ -1,0 +1,180 @@
+"""Bottom-up dense-unit discovery with apriori candidate generation.
+
+CLIQUE identifies all *dense units* — subspace grid cells holding at
+least a ``tau`` fraction of the points — level by level:
+
+* level 1 from per-dimension histograms;
+* level ``q`` candidates by joining two dense ``(q-1)``-units that agree
+  on their first ``q-2`` (dimension, interval) pairs (the classic
+  apriori join over the lexicographic order of dimensions);
+* candidates with any non-dense face are pruned (monotonicity: every
+  projection of a dense unit is dense);
+* surviving candidates are counted in one vectorised pass per subspace
+  (points' cell keys are integer-encoded and aggregated with
+  ``np.unique``).
+
+Note the PROCLUS paper quotes ``tau`` in percent (``tau = 0.5`` means
+0.5% of N); this module takes a fraction in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...exceptions import ParameterError
+from .units import Unit
+
+__all__ = ["find_dense_units", "units_by_subspace", "count_units",
+           "generate_candidates", "density_threshold"]
+
+SubspaceUnits = Dict[Tuple[int, ...], List[Unit]]
+
+
+def density_threshold(n_points: int, tau: float) -> int:
+    """Minimum point count for a unit to be dense (at least 1)."""
+    if not 0 < tau < 1:
+        raise ParameterError(f"tau must lie in (0, 1); got {tau}")
+    return max(1, math.ceil(tau * n_points))
+
+
+def units_by_subspace(units: Iterable[Unit]) -> SubspaceUnits:
+    """Group units by the subspace they live in."""
+    grouped: SubspaceUnits = defaultdict(list)
+    for u in units:
+        grouped[u.subspace].append(u)
+    return dict(grouped)
+
+
+def _encode_keys(cells: np.ndarray, dims: Sequence[int], xi: int) -> np.ndarray:
+    """Mixed-radix encoding of each point's cell within a subspace."""
+    dims = list(dims)
+    keys = np.zeros(cells.shape[0], dtype=np.int64)
+    for pos, d in enumerate(dims):
+        keys += cells[:, d].astype(np.int64) * (xi ** pos)
+    return keys
+
+
+def _encode_unit(unit: Unit, dims_order: Sequence[int], xi: int) -> int:
+    """Encode a unit's intervals with the same radix as :func:`_encode_keys`."""
+    key = 0
+    for pos, d in enumerate(dims_order):
+        key += unit.interval_on(d) * (xi ** pos)
+    return key
+
+
+def count_units(cells: np.ndarray, candidates: Sequence[Unit],
+                xi: int) -> Dict[Unit, int]:
+    """Support counts for candidate units, one pass per subspace."""
+    counts: Dict[Unit, int] = {}
+    for dims, group in units_by_subspace(candidates).items():
+        keys = _encode_keys(cells, dims, xi)
+        uniq, cnt = np.unique(keys, return_counts=True)
+        table = dict(zip(uniq.tolist(), cnt.tolist()))
+        for u in group:
+            counts[u] = table.get(_encode_unit(u, dims, xi), 0)
+    return counts
+
+
+def generate_candidates(prev_dense: Sequence[Unit]) -> List[Unit]:
+    """Apriori join + prune: candidate ``q``-units from dense ``(q-1)``-units.
+
+    Two units join when their first ``q-2`` (dimension, interval) pairs
+    coincide and the joined dimensions differ; candidates with a
+    non-dense face are dropped.
+    """
+    if not prev_dense:
+        return []
+    dense_set = set(prev_dense)
+    by_prefix: Dict[tuple, List[Tuple[int, int]]] = defaultdict(list)
+    for u in prev_dense:
+        prefix = (u.dims[:-1], u.intervals[:-1])
+        by_prefix[prefix].append((u.dims[-1], u.intervals[-1]))
+
+    candidates: List[Unit] = []
+    seen = set()
+    for (pdims, pints), tails in by_prefix.items():
+        tails.sort()
+        for a in range(len(tails)):
+            for b in range(a + 1, len(tails)):
+                d1, i1 = tails[a]
+                d2, i2 = tails[b]
+                if d1 == d2:
+                    continue  # same dimension, different intervals: no join
+                cand = Unit(dims=pdims + (d1, d2), intervals=pints + (i1, i2))
+                if cand in seen:
+                    continue
+                seen.add(cand)
+                if all(f in dense_set for f in cand.faces()):
+                    candidates.append(cand)
+    return candidates
+
+
+def find_dense_units(cells: np.ndarray, xi: int, tau: float, *,
+                     max_dimensionality: Optional[int] = None,
+                     level_hook=None) -> Dict[Unit, int]:
+    """All dense units of every subspace, with their support counts.
+
+    Parameters
+    ----------
+    cells:
+        Integer cell coordinates ``(N, d)`` from
+        :meth:`~repro.baselines.clique.grid.Grid.cell_indices`.
+    xi, tau:
+        Grid resolution and density threshold (fraction of ``N``).
+    max_dimensionality:
+        Stop after this subspace dimensionality (``None`` = up to ``d``).
+    level_hook:
+        Optional callable ``(level, dense_units_at_level, counts)
+        -> kept_units`` invoked after each level, where ``counts`` maps
+        each of the level's units to its support; used by the driver to
+        apply MDL subspace pruning before the next join.  Returning a
+        subset restricts what the next level joins on (the pruned units
+        stay in the result, as in the original paper's description of
+        pruning as a candidate-generation heuristic — callers can drop
+        them too).
+
+    Returns
+    -------
+    dict
+        Mapping dense :class:`Unit` -> support count, covering every
+        discovered level.
+    """
+    cells = np.asarray(cells)
+    if cells.ndim != 2:
+        raise ParameterError("cells must be 2-dimensional (N, d)")
+    n, d = cells.shape
+    threshold = density_threshold(n, tau)
+    limit = d if max_dimensionality is None else min(max_dimensionality, d)
+
+    all_dense: Dict[Unit, int] = {}
+
+    # level 1: histograms
+    level_units: List[Unit] = []
+    level_counts: Dict[Unit, int] = {}
+    for j in range(d):
+        counts = np.bincount(cells[:, j], minlength=xi)
+        for interval in np.flatnonzero(counts >= threshold):
+            u = Unit(dims=(j,), intervals=(int(interval),))
+            all_dense[u] = int(counts[interval])
+            level_counts[u] = int(counts[interval])
+            level_units.append(u)
+    if level_hook is not None:
+        level_units = list(level_hook(1, level_units, level_counts))
+
+    level = 1
+    while level_units and level < limit:
+        level += 1
+        candidates = generate_candidates(level_units)
+        if not candidates:
+            break
+        counts = count_units(cells, candidates, xi)
+        level_units = [u for u, c in counts.items() if c >= threshold]
+        level_counts = {u: counts[u] for u in level_units}
+        all_dense.update(level_counts)
+        if level_hook is not None:
+            level_units = list(level_hook(level, level_units, level_counts))
+    return all_dense

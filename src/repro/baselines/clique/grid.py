@@ -1,0 +1,118 @@
+"""The CLIQUE grid: ``xi`` equal-width intervals per dimension.
+
+The grid is fitted to the data's per-dimension range (the paper's data
+lives in ``[0, 100]^d``; fitting to the observed range keeps the
+implementation usable on arbitrary data).  The only operation the rest
+of the algorithm needs is mapping points to integer cell coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...exceptions import ParameterError
+from ...validation import check_array, check_positive_int
+
+__all__ = ["Grid"]
+
+
+class Grid:
+    """Uniform grid over the bounding box of a dataset.
+
+    Parameters
+    ----------
+    xi:
+        Number of intervals per dimension (the paper uses ``xi = 10``).
+    bounds:
+        Optional ``(lows, highs)`` arrays fixing the box; fitted from the
+        data when omitted.  Points on the upper boundary fall into the
+        last interval (closed top interval), matching the usual
+        histogram convention.
+    """
+
+    def __init__(self, xi: int = 10,
+                 bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None):
+        self.xi = check_positive_int(xi, name="xi", minimum=1)
+        self._lows: Optional[np.ndarray] = None
+        self._highs: Optional[np.ndarray] = None
+        if bounds is not None:
+            lows, highs = bounds
+            self._set_bounds(np.asarray(lows, dtype=np.float64),
+                             np.asarray(highs, dtype=np.float64))
+
+    def _set_bounds(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        if lows.shape != highs.shape or lows.ndim != 1:
+            raise ParameterError("bounds must be two 1-D arrays of equal length")
+        if np.any(highs < lows):
+            raise ParameterError("bounds must satisfy highs >= lows")
+        self._lows = lows
+        self._highs = highs
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """True once bounds are known."""
+        return self._lows is not None
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the fitted grid."""
+        if self._lows is None:
+            raise ParameterError("grid is not fitted")
+        return int(self._lows.shape[0])
+
+    @property
+    def interval_widths(self) -> np.ndarray:
+        """Per-dimension interval widths (0 for constant dimensions)."""
+        if self._lows is None:
+            raise ParameterError("grid is not fitted")
+        return (self._highs - self._lows) / self.xi
+
+    def interval_bounds(self, dim: int, interval: int) -> Tuple[float, float]:
+        """Real-valued ``[low, high)`` of one interval of one dimension."""
+        if self._lows is None:
+            raise ParameterError("grid is not fitted")
+        if not 0 <= interval < self.xi:
+            raise ParameterError(f"interval must lie in [0, {self.xi - 1}]")
+        width = self.interval_widths[dim]
+        low = self._lows[dim] + interval * width
+        return float(low), float(low + width)
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "Grid":
+        """Fit bounds to ``X``'s per-dimension min/max; returns self."""
+        X = check_array(X, name="X")
+        self._set_bounds(X.min(axis=0), X.max(axis=0))
+        return self
+
+    def cell_indices(self, X: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates ``(N, d)``, each in ``[0, xi-1]``.
+
+        Points outside the fitted box are clamped into the boundary
+        cells (relevant when transforming held-out data).
+        """
+        if self._lows is None:
+            raise ParameterError("grid is not fitted; call fit(X) first")
+        X = check_array(X, name="X")
+        if X.shape[1] != self.n_dims:
+            raise ParameterError(
+                f"X has {X.shape[1]} dims but the grid was fitted on {self.n_dims}"
+            )
+        span = self._highs - self._lows
+        # constant dimensions: every point in interval 0
+        safe_span = np.where(span > 0, span, 1.0)
+        scaled = (X - self._lows) / safe_span * self.xi
+        cells = np.floor(scaled).astype(np.int64)
+        np.clip(cells, 0, self.xi - 1, out=cells)
+        cells[:, span == 0] = 0
+        return cells
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return its cell coordinates."""
+        return self.fit(X).cell_indices(X)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fitted = f", d={self.n_dims}" if self.is_fitted else ""
+        return f"Grid(xi={self.xi}{fitted})"

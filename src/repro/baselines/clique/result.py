@@ -1,0 +1,134 @@
+"""Result objects for CLIQUE.
+
+CLIQUE's output is a *set of possibly-overlapping clusters*, each tied
+to one subspace — not a partition.  :class:`CliqueResult` therefore
+stores per-cluster point-index arrays and provides the coverage/overlap
+summaries the PROCLUS paper computes when deciding whether CLIQUE's
+output can stand in for a partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .cover import Rectangle
+from .units import Unit
+
+__all__ = ["CliqueCluster", "CliqueResult"]
+
+
+@dataclass
+class CliqueCluster:
+    """One connected component of dense units in one subspace."""
+
+    cluster_id: int
+    dims: Tuple[int, ...]
+    units: List[Unit]
+    point_indices: np.ndarray
+    rectangles: List[Rectangle] = field(default_factory=list)
+
+    @property
+    def dimensionality(self) -> int:
+        """Subspace dimensionality of the cluster."""
+        return len(self.dims)
+
+    @property
+    def n_points(self) -> int:
+        """Number of points inside the cluster's dense units."""
+        return int(self.point_indices.size)
+
+    @property
+    def n_units(self) -> int:
+        """Number of dense units forming the cluster."""
+        return len(self.units)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CliqueCluster(id={self.cluster_id}, dims={self.dims}, "
+            f"units={self.n_units}, points={self.n_points})"
+        )
+
+
+@dataclass
+class CliqueResult:
+    """All clusters found by one CLIQUE run plus run metadata."""
+
+    clusters: List[CliqueCluster]
+    n_points: int
+    xi: int
+    tau: float
+    n_dense_units: int
+    subspace_coverage: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of reported clusters (all subspaces)."""
+        return len(self.clusters)
+
+    def clusters_of_dimensionality(self, q: int) -> List[CliqueCluster]:
+        """Only the clusters living in ``q``-dimensional subspaces."""
+        return [c for c in self.clusters if c.dimensionality == q]
+
+    @property
+    def max_dimensionality(self) -> int:
+        """Highest subspace dimensionality among reported clusters."""
+        return max((c.dimensionality for c in self.clusters), default=0)
+
+    def covered_points(self) -> np.ndarray:
+        """Indices of points belonging to at least one cluster."""
+        if not self.clusters:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate([c.point_indices for c in self.clusters]))
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of all points covered by some cluster."""
+        if self.n_points == 0:
+            return 0.0
+        return self.covered_points().size / self.n_points
+
+    @property
+    def average_overlap(self) -> float:
+        """The PROCLUS paper's overlap: ``sum|C_i| / |union C_i|``.
+
+        1.0 means the output is effectively a partition of the covered
+        points; large values mean points are reported many times.
+        """
+        union = self.covered_points().size
+        if union == 0:
+            return 0.0
+        total = sum(c.n_points for c in self.clusters)
+        return total / union
+
+    def membership_counts(self) -> np.ndarray:
+        """Per-point count of clusters containing the point."""
+        counts = np.zeros(self.n_points, dtype=np.int64)
+        for c in self.clusters:
+            counts[c.point_indices] += 1
+        return counts
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"CLIQUE result: xi={self.xi}, tau={self.tau:g}, "
+            f"{self.n_clusters} clusters from {self.n_dense_units} dense units",
+            f"  coverage={self.coverage_fraction:.1%}, "
+            f"average overlap={self.average_overlap:.2f}",
+        ]
+        by_dim: Dict[int, int] = {}
+        for c in self.clusters:
+            by_dim[c.dimensionality] = by_dim.get(c.dimensionality, 0) + 1
+        for q in sorted(by_dim):
+            lines.append(f"  {by_dim[q]} cluster(s) in {q}-dimensional subspaces")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CliqueResult(clusters={self.n_clusters}, "
+            f"coverage={self.coverage_fraction:.2f}, "
+            f"overlap={self.average_overlap:.2f})"
+        )

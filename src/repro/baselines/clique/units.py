@@ -1,0 +1,108 @@
+"""Units: axis-parallel grid cells in a subspace.
+
+A *unit* is a pair ``(dims, intervals)`` — a sorted tuple of dimension
+indices and the aligned tuple of interval ids.  Units are hashable value
+objects; the apriori pass, connectivity analysis, and cover all operate
+on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ...exceptions import ParameterError
+
+__all__ = ["Unit"]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """An axis-parallel cell in the subspace spanned by ``dims``.
+
+    Attributes
+    ----------
+    dims:
+        Strictly increasing dimension indices.
+    intervals:
+        Interval id along each dimension of ``dims`` (same length).
+    """
+
+    dims: Tuple[int, ...]
+    intervals: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.intervals):
+            raise ParameterError(
+                f"dims and intervals must align; got {self.dims} / {self.intervals}"
+            )
+        if len(self.dims) == 0:
+            raise ParameterError("a unit needs at least one dimension")
+        if any(a >= b for a, b in zip(self.dims, self.dims[1:])):
+            raise ParameterError(f"dims must be strictly increasing; got {self.dims}")
+
+    # ------------------------------------------------------------------
+    @property
+    def dimensionality(self) -> int:
+        """Number of constrained dimensions."""
+        return len(self.dims)
+
+    @property
+    def subspace(self) -> Tuple[int, ...]:
+        """The subspace (= ``dims``) this unit lives in."""
+        return self.dims
+
+    def interval_on(self, dim: int) -> int:
+        """Interval id along dimension ``dim`` (must be constrained)."""
+        try:
+            return self.intervals[self.dims.index(dim)]
+        except ValueError:
+            raise ParameterError(f"dimension {dim} is not constrained by {self}")
+
+    def faces(self) -> Iterator["Unit"]:
+        """The (q-1)-dimensional projections obtained by dropping one dim.
+
+        These are the unit's *faces*; apriori pruning requires all of
+        them to be dense.  A 1-dimensional unit has no faces.
+        """
+        if self.dimensionality == 1:
+            return
+        for drop in range(self.dimensionality):
+            yield Unit(
+                dims=self.dims[:drop] + self.dims[drop + 1:],
+                intervals=self.intervals[:drop] + self.intervals[drop + 1:],
+            )
+
+    def is_adjacent(self, other: "Unit") -> bool:
+        """True if the two units share a face (common subspace, one
+        interval differing by exactly 1)."""
+        if self.dims != other.dims:
+            return False
+        diff = 0
+        for a, b in zip(self.intervals, other.intervals):
+            step = abs(a - b)
+            if step == 0:
+                continue
+            if step > 1:
+                return False
+            diff += 1
+            if diff > 1:
+                return False
+        return diff == 1
+
+    def neighbours(self, xi: int) -> Iterator["Unit"]:
+        """All potential face-adjacent units inside an ``xi``-wide grid."""
+        for pos in range(self.dimensionality):
+            for delta in (-1, 1):
+                nv = self.intervals[pos] + delta
+                if 0 <= nv < xi:
+                    yield Unit(
+                        dims=self.dims,
+                        intervals=self.intervals[:pos] + (nv,) + self.intervals[pos + 1:],
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cells = ", ".join(
+            f"x{d}∈[{i}]" for d, i in zip(self.dims, self.intervals)
+        )
+        return f"Unit({cells})"

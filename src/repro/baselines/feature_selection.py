@@ -1,0 +1,115 @@
+"""Global feature preselection + full-dimensional clustering.
+
+The strawman of the paper's introduction (Figure 1): pick one global
+subset of dimensions up front, prune the rest, and cluster in that
+subspace.  When different clusters correlate in *different* subspaces —
+the projected-clustering setting — no single subset works, and this
+baseline demonstrably fails where PROCLUS succeeds (see
+``examples/feature_selection_failure.py`` and the ablation benches).
+
+Two classical unsupervised scores are provided:
+
+* ``variance_scores``: low variance = the dimension is globally
+  compact; clusters hiding in a dimension lower its global variance
+  only slightly, which is exactly why the approach breaks;
+* ``spread_scores``: average absolute deviation from the dimension
+  median — a robust variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..rng import SeedLike
+from ..validation import check_array, check_positive_int
+from .kmeans import KMeansResult, kmeans
+from .kmedoids import KMedoidsResult, clarans
+
+__all__ = ["variance_scores", "spread_scores", "FeatureSelectionClustering"]
+
+
+def variance_scores(X: np.ndarray) -> np.ndarray:
+    """Per-dimension variance (lower = more globally compact)."""
+    X = check_array(X, name="X")
+    return X.var(axis=0)
+
+
+def spread_scores(X: np.ndarray) -> np.ndarray:
+    """Per-dimension mean absolute deviation from the median (robust)."""
+    X = check_array(X, name="X")
+    med = np.median(X, axis=0)
+    return np.abs(X - med).mean(axis=0)
+
+
+class FeatureSelectionClustering:
+    """Select the ``n_features`` most compact dimensions, then cluster.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters for the downstream algorithm.
+    n_features:
+        Number of dimensions to keep globally.
+    scorer:
+        ``"variance"``, ``"spread"``, or a callable ``X -> scores``
+        (lower score = keep).
+    algorithm:
+        ``"kmeans"`` (default) or ``"clarans"`` for the clustering step.
+    """
+
+    def __init__(self, k: int, n_features: int, *,
+                 scorer: Union[str, Callable] = "variance",
+                 algorithm: str = "kmeans", seed: SeedLike = None):
+        self.k = check_positive_int(k, name="k", minimum=1)
+        self.n_features = check_positive_int(n_features, name="n_features", minimum=1)
+        if isinstance(scorer, str):
+            try:
+                scorer = {"variance": variance_scores, "spread": spread_scores}[scorer]
+            except KeyError:
+                raise ParameterError(
+                    f"scorer must be 'variance', 'spread', or callable; got {scorer!r}"
+                )
+        self.scorer = scorer
+        if algorithm not in ("kmeans", "clarans"):
+            raise ParameterError(
+                f"algorithm must be 'kmeans' or 'clarans'; got {algorithm!r}"
+            )
+        self.algorithm = algorithm
+        self.seed = seed
+        self.selected_dims_: Optional[np.ndarray] = None
+        self.result_: Union[KMeansResult, KMedoidsResult, None] = None
+
+    def fit(self, X) -> "FeatureSelectionClustering":
+        """Score dimensions, keep the best, cluster in that subspace."""
+        X = check_array(X, name="X")
+        if self.n_features > X.shape[1]:
+            raise ParameterError(
+                f"n_features={self.n_features} exceeds d={X.shape[1]}"
+            )
+        scores = np.asarray(self.scorer(X), dtype=np.float64)
+        if scores.shape != (X.shape[1],):
+            raise ParameterError(
+                "scorer must return one score per dimension; got shape "
+                f"{scores.shape}"
+            )
+        self.selected_dims_ = np.sort(np.argsort(scores, kind="stable")[:self.n_features])
+        sub = X[:, self.selected_dims_]
+        if self.algorithm == "kmeans":
+            self.result_ = kmeans(sub, self.k, seed=self.seed)
+        else:
+            self.result_ = clarans(sub, self.k, seed=self.seed)
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return the label array."""
+        return self.fit(X).result_.labels
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """Labels from the last fit."""
+        if self.result_ is None:
+            raise ParameterError("call fit() first")
+        return self.result_.labels

@@ -1,0 +1,236 @@
+"""Full-dimensional K-medoids: PAM and CLARANS (Ng & Han, VLDB 1994).
+
+PROCLUS borrows CLARANS's local-search structure — these substrates are
+both the historical baseline and a didactic reference for the iterative
+phase.  Both return a :class:`KMedoidsResult` with medoids and labels.
+
+* **PAM** (Kaufman & Rousseeuw): BUILD picks medoids greedily to
+  minimise total distance; SWAP tries every (medoid, non-medoid)
+  exchange until none improves.  Exact but ``O(k (N-k)^2)`` per pass —
+  use on small data.
+* **CLARANS**: searches the same graph (vertices = medoid sets, edges =
+  single swaps) by sampling ``max_neighbors`` random swaps per step and
+  restarting ``num_local`` times, keeping the best local minimum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..distance.base import Metric, get_metric
+from ..distance.matrix import cross_distances
+from ..rng import SeedLike, ensure_rng
+from ..validation import check_array, check_positive_int
+
+__all__ = ["KMedoidsResult", "PAM", "CLARANS", "pam", "clarans"]
+
+
+@dataclass
+class KMedoidsResult:
+    """A fitted full-dimensional k-medoids clustering."""
+
+    labels: np.ndarray
+    medoid_indices: np.ndarray
+    medoids: np.ndarray
+    cost: float
+    n_swaps: int = 0
+    seconds: float = 0.0
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.medoid_indices.size)
+
+    def cluster_sizes(self) -> dict:
+        """Mapping cluster id -> member count."""
+        return {i: int(np.count_nonzero(self.labels == i)) for i in range(self.k)}
+
+
+def _total_cost(dist_to_medoids: np.ndarray) -> tuple:
+    """(labels, cost) given an (N, k) distance matrix."""
+    labels = np.argmin(dist_to_medoids, axis=1).astype(np.int64)
+    cost = float(dist_to_medoids[np.arange(labels.size), labels].sum())
+    return labels, cost
+
+
+def pam(X, k: int, *, metric: Union[str, Metric] = "manhattan",
+        max_swaps: int = 200, seed: SeedLike = None) -> KMedoidsResult:
+    """PAM: BUILD + SWAP.  Exact local search; quadratic — keep N small.
+
+    ``seed`` only breaks ties in BUILD's first pick when several points
+    minimise the initial cost (we take the argmin, so runs are in fact
+    deterministic; the parameter is accepted for interface uniformity).
+    """
+    X = check_array(X, name="X")
+    n = X.shape[0]
+    k = check_positive_int(k, name="k", minimum=1, maximum=n)
+    metric = get_metric(metric)
+    t0 = time.perf_counter()
+
+    # BUILD: first medoid minimises total distance; each next pick
+    # maximally reduces the current cost.
+    full = cross_distances(X, X, metric)  # (n, n)
+    first = int(np.argmin(full.sum(axis=0)))
+    medoids = [first]
+    nearest = full[:, first].copy()
+    while len(medoids) < k:
+        # gain of adding candidate c: sum over points of max(0, nearest - d(x, c))
+        gains = np.maximum(nearest[:, None] - full, 0.0).sum(axis=0)
+        gains[medoids] = -np.inf
+        best = int(np.argmax(gains))
+        medoids.append(best)
+        np.minimum(nearest, full[:, best], out=nearest)
+
+    medoid_arr = np.asarray(medoids, dtype=np.intp)
+    labels, cost = _total_cost(full[:, medoid_arr])
+    history = [cost]
+
+    # SWAP: steepest-descent over all (medoid, non-medoid) exchanges.
+    n_swaps = 0
+    improved = True
+    while improved and n_swaps < max_swaps:
+        improved = False
+        best_delta = -1e-12
+        best_pair = None
+        non_medoids = np.setdiff1d(np.arange(n), medoid_arr)
+        for mi_pos in range(k):
+            trial = medoid_arr.copy()
+            others = np.delete(medoid_arr, mi_pos)
+            # distance to closest *other* medoid, for all points
+            d_others = full[:, others].min(axis=1) if others.size else np.full(n, np.inf)
+            for cand in non_medoids:
+                new_nearest = np.minimum(d_others, full[:, cand])
+                delta = cost - new_nearest.sum()
+                if delta > best_delta:
+                    best_delta = delta
+                    best_pair = (mi_pos, cand)
+        if best_pair is not None:
+            mi_pos, cand = best_pair
+            medoid_arr[mi_pos] = cand
+            labels, cost = _total_cost(full[:, medoid_arr])
+            history.append(cost)
+            n_swaps += 1
+            improved = True
+
+    return KMedoidsResult(
+        labels=labels, medoid_indices=medoid_arr, medoids=X[medoid_arr],
+        cost=cost, n_swaps=n_swaps, seconds=time.perf_counter() - t0,
+        history=history,
+    )
+
+
+def clarans(X, k: int, *, metric: Union[str, Metric] = "manhattan",
+            num_local: int = 2, max_neighbors: Optional[int] = None,
+            seed: SeedLike = None) -> KMedoidsResult:
+    """CLARANS: randomised search over the medoid-set graph.
+
+    Parameters follow Ng & Han: ``num_local`` restarts; per step,
+    ``max_neighbors`` random single-swap neighbours are examined (their
+    suggested default ``max(250, 1.25% of k(N-k))`` is used when
+    ``None``); the first improving neighbour is taken.
+    """
+    X = check_array(X, name="X")
+    n = X.shape[0]
+    k = check_positive_int(k, name="k", minimum=1, maximum=n)
+    check_positive_int(num_local, name="num_local", minimum=1)
+    metric = get_metric(metric)
+    rng = ensure_rng(seed)
+    t0 = time.perf_counter()
+
+    if max_neighbors is None:
+        max_neighbors = max(250, int(0.0125 * k * (n - k)))
+
+    best_cost = np.inf
+    best_medoids = None
+    history: List[float] = []
+    total_swaps = 0
+
+    for _ in range(num_local):
+        current = rng.choice(n, size=k, replace=False)
+        dist = cross_distances(X, X[current], metric)
+        labels, cost = _total_cost(dist)
+        tries = 0
+        while tries < max_neighbors:
+            pos = int(rng.integers(k))
+            cand = int(rng.integers(n))
+            if cand in current:
+                tries += 1
+                continue
+            trial = current.copy()
+            trial[pos] = cand
+            new_col = metric.pairwise_to_point(X, X[cand])
+            trial_dist = dist.copy()
+            trial_dist[:, pos] = new_col
+            _, new_cost = _total_cost(trial_dist)
+            if new_cost < cost:
+                current, dist, cost = trial, trial_dist, new_cost
+                total_swaps += 1
+                tries = 0
+            else:
+                tries += 1
+        history.append(cost)
+        if cost < best_cost:
+            best_cost = cost
+            best_medoids = current
+
+    medoid_arr = np.asarray(best_medoids, dtype=np.intp)
+    dist = cross_distances(X, X[medoid_arr], metric)
+    labels, cost = _total_cost(dist)
+    return KMedoidsResult(
+        labels=labels, medoid_indices=medoid_arr, medoids=X[medoid_arr],
+        cost=cost, n_swaps=total_swaps, seconds=time.perf_counter() - t0,
+        history=history,
+    )
+
+
+class PAM:
+    """Estimator wrapper around :func:`pam`."""
+
+    def __init__(self, k: int, *, metric: Union[str, Metric] = "manhattan",
+                 max_swaps: int = 200, seed: SeedLike = None):
+        self.k = k
+        self.metric = metric
+        self.max_swaps = max_swaps
+        self.seed = seed
+        self.result_: Optional[KMedoidsResult] = None
+
+    def fit(self, X) -> "PAM":
+        """Run PAM; returns self with ``result_`` populated."""
+        self.result_ = pam(X, self.k, metric=self.metric,
+                           max_swaps=self.max_swaps, seed=self.seed)
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Run PAM and return labels."""
+        return self.fit(X).result_.labels
+
+
+class CLARANS:
+    """Estimator wrapper around :func:`clarans`."""
+
+    def __init__(self, k: int, *, metric: Union[str, Metric] = "manhattan",
+                 num_local: int = 2, max_neighbors: Optional[int] = None,
+                 seed: SeedLike = None):
+        self.k = k
+        self.metric = metric
+        self.num_local = num_local
+        self.max_neighbors = max_neighbors
+        self.seed = seed
+        self.result_: Optional[KMedoidsResult] = None
+
+    def fit(self, X) -> "CLARANS":
+        """Run CLARANS; returns self with ``result_`` populated."""
+        self.result_ = clarans(
+            X, self.k, metric=self.metric, num_local=self.num_local,
+            max_neighbors=self.max_neighbors, seed=self.seed,
+        )
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Run CLARANS and return labels."""
+        return self.fit(X).result_.labels

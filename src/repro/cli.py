@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro`` or the ``proclus`` script.
+
+Subcommands
+-----------
+``generate``
+    Draw a synthetic dataset (paper section 4.1, or a named domain
+    workload via ``--workload``) and write it to CSV.
+``cluster``
+    Run PROCLUS on a CSV dataset and print the result summary.
+``sweep``
+    Sweep ``l`` (and optionally ``k``) on a CSV dataset to pick
+    parameters, per the paper's section-4.3 advice.
+``clique``
+    Run the CLIQUE baseline on a CSV dataset and print its summary.
+``experiment``
+    Run a registered paper experiment (``table1`` .. ``table5``,
+    ``fig7`` .. ``fig9``, ablations) and print its report.
+``list``
+    List available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments  # noqa: F401 - populates the registry
+from .baselines.clique import Clique
+from .core.proclus import proclus
+from .data.io import load_csv, save_csv
+from .data.synthetic import generate
+from .experiments.registry import get_experiment, list_experiments
+from .metrics.confusion import confusion_matrix
+from .metrics.external import adjusted_rand_index
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="proclus",
+        description="PROCLUS (SIGMOD 1999) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic dataset")
+    g.add_argument("output", help="CSV file to write")
+    g.add_argument("--workload", default=None,
+                   choices=["collaborative-filtering", "segmentation",
+                            "sensors"],
+                   help="named domain workload instead of the generic "
+                        "section-4.1 generator")
+    g.add_argument("--n-points", type=int, default=10_000)
+    g.add_argument("--n-dims", type=int, default=20)
+    g.add_argument("--n-clusters", type=int, default=5)
+    g.add_argument("--cluster-dims", type=int, nargs="*", default=None,
+                   help="exact dimensionality per cluster, e.g. 7 7 7 7 7")
+    g.add_argument("--outlier-fraction", type=float, default=0.05)
+    g.add_argument("--seed", type=int, default=None)
+
+    c = sub.add_parser("cluster", help="run PROCLUS on a CSV dataset")
+    c.add_argument("input", help="CSV file (from `generate` or compatible)")
+    c.add_argument("-k", type=int, required=True, help="number of clusters")
+    c.add_argument("-l", type=float, required=True,
+                   help="average cluster dimensionality")
+    c.add_argument("--seed", type=int, default=None)
+    c.add_argument("--min-deviation", type=float, default=0.1)
+    c.add_argument("--no-outliers", action="store_true",
+                   help="skip outlier detection in the refinement phase")
+
+    s = sub.add_parser("sweep", help="sweep l (and k) to pick parameters")
+    s.add_argument("input")
+    s.add_argument("-k", type=int, required=True,
+                   help="cluster count used during the l sweep")
+    s.add_argument("--l-values", type=float, nargs="+", required=True)
+    s.add_argument("--k-values", type=int, nargs="*", default=None,
+                   help="optionally sweep k afterwards at the chosen l")
+    s.add_argument("--seed", type=int, default=None)
+
+    q = sub.add_parser("clique", help="run the CLIQUE baseline on a CSV dataset")
+    q.add_argument("input")
+    q.add_argument("--xi", type=int, default=10)
+    q.add_argument("--tau-percent", type=float, default=0.5,
+                   help="density threshold in percent of N (paper convention)")
+    q.add_argument("--max-dim", type=int, default=None)
+    q.add_argument("--target-dim", type=int, default=None)
+    q.add_argument("--mdl-prune", action="store_true")
+
+    o = sub.add_parser("orclus", help="run the ORCLUS extension "
+                                      "(oriented subspaces)")
+    o.add_argument("input")
+    o.add_argument("-k", type=int, required=True)
+    o.add_argument("-l", type=int, required=True,
+                   help="subspace dimensionality per cluster")
+    o.add_argument("--seed", type=int, default=None)
+    o.add_argument("--outlier-factor", type=float, default=None)
+
+    st = sub.add_parser("stability", help="cross-seed stability analysis "
+                                          "of PROCLUS on a dataset")
+    st.add_argument("input")
+    st.add_argument("-k", type=int, required=True)
+    st.add_argument("-l", type=float, required=True)
+    st.add_argument("--n-runs", type=int, default=5)
+    st.add_argument("--seed", type=int, default=None)
+
+    e = sub.add_parser("experiment", help="run a registered paper experiment")
+    e.add_argument("name", help="experiment name (see `list`)")
+    e.add_argument("--n-points", type=int, default=None,
+                   help="override workload size (paper scale: 100000)")
+    e.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.workload is None:
+        ds = generate(
+            args.n_points, args.n_dims, args.n_clusters,
+            cluster_dim_counts=args.cluster_dims,
+            outlier_fraction=args.outlier_fraction,
+            seed=args.seed,
+        )
+    else:
+        from .data.workloads import (
+            collaborative_filtering_workload,
+            customer_segmentation_workload,
+            sensor_fleet_workload,
+        )
+        makers = {
+            "collaborative-filtering": lambda: collaborative_filtering_workload(
+                seed=args.seed),
+            "segmentation": lambda: customer_segmentation_workload(
+                seed=args.seed),
+            "sensors": lambda: sensor_fleet_workload(
+                args.n_points, seed=args.seed),
+        }
+        ds = makers[args.workload]()
+    path = save_csv(ds, args.output)
+    print(f"wrote {ds.n_points} x {ds.n_dims} points "
+          f"({ds.n_clusters} clusters, {ds.n_outliers} outliers) to {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .core.tuning import sweep_k, sweep_l
+    ds = load_csv(args.input)
+    l_sweep = sweep_l(ds.points, args.k, args.l_values, seed=args.seed)
+    print(l_sweep.to_text())
+    picked_l = l_sweep.knee_value()
+    print(f"-> picked l = {picked_l:g} (largest value on the plateau)")
+    if args.k_values:
+        k_sweep = sweep_k(ds.points, args.k_values, picked_l, seed=args.seed)
+        print()
+        print(k_sweep.to_text())
+        print(f"-> picked k = {int(k_sweep.knee_value())}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    ds = load_csv(args.input)
+    result = proclus(
+        ds.points, args.k, args.l,
+        min_deviation=args.min_deviation,
+        handle_outliers=not args.no_outliers,
+        seed=args.seed,
+    )
+    print(result.summary())
+    if ds.has_ground_truth:
+        print()
+        print(confusion_matrix(result.labels, ds.labels).to_table())
+        print(f"\nadjusted Rand index = "
+              f"{adjusted_rand_index(result.labels, ds.labels):.3f}")
+    return 0
+
+
+def _cmd_clique(args) -> int:
+    ds = load_csv(args.input)
+    clique = Clique(
+        xi=args.xi, tau=args.tau_percent / 100.0,
+        max_dimensionality=args.max_dim,
+        target_dimensionality=args.target_dim,
+        prune_subspaces=args.mdl_prune,
+    ).fit(ds.points)
+    print(clique.result.summary())
+    return 0
+
+
+def _cmd_orclus(args) -> int:
+    from .extensions import orclus
+    ds = load_csv(args.input)
+    result = orclus(ds.points, args.k, args.l, seed=args.seed,
+                    outlier_factor=args.outlier_factor)
+    sizes = ", ".join(f"{cid}:{n}" for cid, n in result.cluster_sizes().items())
+    print(f"ORCLUS: k={result.k}, subspace dim "
+          f"{result.subspace_dimensionality()}, energy={result.energy:.3f}")
+    print(f"cluster sizes {{{sizes}}}, outliers={result.n_outliers}")
+    if ds.has_ground_truth:
+        print(f"adjusted Rand index = "
+              f"{adjusted_rand_index(result.labels, ds.labels):.3f}")
+    return 0
+
+
+def _cmd_stability(args) -> int:
+    from .core.proclus import proclus as _proclus
+    from .metrics import stability_report
+    ds = load_csv(args.input)
+
+    def fit(X, seed):
+        return _proclus(X, args.k, args.l, seed=seed, keep_history=False)
+
+    print(stability_report(fit, ds.points, n_runs=args.n_runs,
+                           seed=args.seed).to_text())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    runner = get_experiment(args.name)
+    kwargs = {}
+    if args.n_points is not None:
+        kwargs["n_points"] = args.n_points
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    report = runner(**kwargs)
+    print(report.to_text())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    for name, desc in list_experiments():
+        print(f"{name:<16} {desc}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "cluster": _cmd_cluster,
+        "sweep": _cmd_sweep,
+        "clique": _cmd_clique,
+        "orclus": _cmd_orclus,
+        "stability": _cmd_stability,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

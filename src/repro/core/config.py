@@ -1,0 +1,113 @@
+"""PROCLUS configuration.
+
+The paper exposes two user parameters — the number of clusters ``k`` and
+the average cluster dimensionality ``l`` — plus several internal
+constants it names but does not fix numerically.  All of them live here
+with documented defaults:
+
+* ``sample_factor`` (the paper's ``A``): the initialization phase samples
+  ``A*k`` points.
+* ``pool_factor`` (the paper's ``B``, "a small constant"): the greedy
+  technique reduces the sample to a candidate pool of ``B*k`` medoids.
+* ``min_deviation``: clusters smaller than ``N/k * min_deviation`` mark
+  their medoid bad (paper: "in most experiments, we choose 0.1").
+* ``max_bad_tries``: the hill climbing stops after this many consecutive
+  vertices that fail to improve the best objective (the paper's
+  "certain number of vertices").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..distance.base import Metric
+from ..exceptions import ParameterError
+from ..rng import SeedLike
+from ..validation import check_fraction, check_k_l, check_positive_int
+
+__all__ = ["ProclusConfig"]
+
+
+@dataclass
+class ProclusConfig:
+    """All PROCLUS knobs in one validated bundle.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters to find.
+    l:
+        Average number of dimensions per cluster; ``l >= 2`` and ``k*l``
+        integral (paper section 1).
+    sample_factor:
+        ``A`` — random-sample size multiplier for the initialization phase.
+    pool_factor:
+        ``B`` — candidate-medoid pool size multiplier (``B <= A``).
+    min_deviation:
+        Bad-medoid threshold fraction (paper default 0.1).
+    max_bad_tries:
+        Consecutive non-improving medoid swaps before termination.
+    max_iterations:
+        Absolute safety cap on hill-climbing iterations.
+    metric:
+        Full-dimensional metric for initialization/locality radii
+        (the paper leaves ``d(.,.)`` generic; default Euclidean).
+    min_dims_per_cluster:
+        The paper hard-codes 2; configurable for ablations.
+    seed:
+        Seed or generator for all randomised steps.
+    """
+
+    k: int
+    l: float
+    sample_factor: int = 30
+    pool_factor: int = 5
+    min_deviation: float = 0.1
+    max_bad_tries: int = 20
+    max_iterations: int = 300
+    metric: Union[str, Metric] = "euclidean"
+    min_dims_per_cluster: int = 2
+    seed: SeedLike = None
+    extra: dict = field(default_factory=dict)
+
+    def validated(self, n_points: int, n_dims: int) -> "ProclusConfig":
+        """Validate against a concrete dataset shape; returns ``self``."""
+        self.k, self.l = check_k_l(self.k, self.l, n_dims, n_points)
+        check_positive_int(self.sample_factor, name="sample_factor", minimum=1)
+        check_positive_int(self.pool_factor, name="pool_factor", minimum=1)
+        if self.pool_factor > self.sample_factor:
+            raise ParameterError(
+                "pool_factor (B) must be <= sample_factor (A); got "
+                f"B={self.pool_factor}, A={self.sample_factor}"
+            )
+        self.min_deviation = check_fraction(
+            self.min_deviation, name="min_deviation", inclusive_high=False
+        )
+        check_positive_int(self.max_bad_tries, name="max_bad_tries", minimum=1)
+        check_positive_int(self.max_iterations, name="max_iterations", minimum=1)
+        check_positive_int(
+            self.min_dims_per_cluster, name="min_dims_per_cluster", minimum=1
+        )
+        if self.min_dims_per_cluster > self.l:
+            raise ParameterError(
+                f"min_dims_per_cluster={self.min_dims_per_cluster} exceeds l={self.l}"
+            )
+        if self.k > n_points:
+            raise ParameterError(f"k={self.k} exceeds N={n_points}")
+        return self
+
+    @property
+    def total_dimensions(self) -> int:
+        """The dimension budget ``k * l`` distributed by FindDimensions."""
+        return int(round(self.k * self.l))
+
+    @property
+    def sample_size(self) -> int:
+        """Initialization-phase random sample size ``A * k``."""
+        return self.sample_factor * self.k
+
+    @property
+    def pool_size(self) -> int:
+        """Candidate medoid pool size ``B * k``."""
+        return self.pool_factor * self.k

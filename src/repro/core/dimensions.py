@@ -1,0 +1,225 @@
+"""Locality analysis and dimension selection (paper Figure 4).
+
+Given medoids ``m_1..m_k``:
+
+* ``delta_i = min_{j != i} d(m_i, m_j)`` and the *locality* ``L_i`` is
+  the set of points within ``delta_i`` of ``m_i``;
+* ``X_{i,j}`` is the average distance along dimension ``j`` from the
+  points of ``L_i`` to ``m_i``;
+* ``Y_i`` is the row mean of ``X_{i,.}`` and ``sigma_i`` its sample
+  standard deviation; ``Z_{i,j} = (X_{i,j} - Y_i) / sigma_i``;
+* the ``k*l`` most negative ``Z_{i,j}`` are selected subject to "at
+  least 2 per medoid" — a separable convex resource-allocation problem
+  (ref [16]) solved exactly by the paper's greedy: preallocate the 2
+  smallest per row, then take the remaining ``k*(l-2)`` smallest overall.
+
+Degenerate cases handled beyond the paper's pseudocode (all tested):
+
+* a locality smaller than 2 points (coincident/crowded medoids) falls
+  back to the nearest ``min_locality_size`` points, so statistics are
+  always defined;
+* ``sigma_i == 0`` (perfectly isotropic locality) yields a zero Z-row,
+  i.e. no dimension of that medoid looks special — ties are broken by
+  the global sort.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..distance.base import Metric
+from ..distance.matrix import cross_distances, per_dimension_average_distance
+from ..exceptions import ParameterError
+from ..validation import check_array
+
+__all__ = [
+    "compute_localities",
+    "dimension_statistics",
+    "zscores",
+    "allocate_dimensions",
+    "find_dimensions",
+    "find_dimensions_from_clusters",
+]
+
+DimensionSets = List[Tuple[int, ...]]
+
+
+def compute_localities(X: np.ndarray, medoid_indices: np.ndarray, *,
+                       metric: Union[str, Metric] = "euclidean",
+                       min_locality_size: int = 2) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Locality point-index sets and radii for each medoid.
+
+    Returns
+    -------
+    (localities, deltas):
+        ``localities[i]`` holds indices (into ``X``) of the points whose
+        full-dimensional distance to medoid ``i`` is at most ``delta_i``,
+        the medoid itself excluded.  ``deltas[i]`` is the radius.  When
+        fewer than ``min_locality_size`` points qualify, the nearest
+        ``min_locality_size`` non-medoid points are used instead.
+    """
+    X = check_array(X, name="X")
+    medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
+    k = medoid_indices.size
+    if k < 2:
+        raise ParameterError("localities need at least 2 medoids")
+    medoids = X[medoid_indices]
+    med_dist = cross_distances(medoids, medoids, metric)
+    np.fill_diagonal(med_dist, np.inf)
+    deltas = med_dist.min(axis=1)
+
+    point_dist = cross_distances(X, medoids, metric)  # (N, k)
+    localities: List[np.ndarray] = []
+    for i in range(k):
+        dist_i = point_dist[:, i]
+        mask = dist_i <= deltas[i]
+        mask[medoid_indices[i]] = False
+        members = np.flatnonzero(mask)
+        if members.size < min_locality_size:
+            order = np.argsort(dist_i, kind="stable")
+            order = order[order != medoid_indices[i]]
+            members = order[:min_locality_size]
+        localities.append(members)
+    return localities, deltas
+
+
+def dimension_statistics(X: np.ndarray, medoids: np.ndarray,
+                         localities: Sequence[np.ndarray]) -> np.ndarray:
+    """The matrix ``X_{i,j}`` of per-dimension average distances.
+
+    ``medoids`` is ``(k, d)``; ``localities[i]`` indexes into ``X``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
+    k, d = medoids.shape
+    stats = np.empty((k, d), dtype=np.float64)
+    for i in range(k):
+        members = np.asarray(localities[i], dtype=np.intp)
+        if members.size == 0:
+            raise ParameterError(
+                f"locality of medoid {i} is empty; use compute_localities "
+                "which guarantees a non-empty fallback"
+            )
+        stats[i] = per_dimension_average_distance(X[members], medoids[i])
+    return stats
+
+
+def zscores(stats: np.ndarray) -> np.ndarray:
+    """Row-standardised Z-scores ``(X_ij - Y_i) / sigma_i``.
+
+    Uses the paper's sample standard deviation (``ddof=1``).  Rows with
+    zero deviation map to all-zero scores.
+    """
+    stats = np.asarray(stats, dtype=np.float64)
+    y = stats.mean(axis=1, keepdims=True)
+    if stats.shape[1] < 2:
+        raise ParameterError("Z-scores need at least 2 dimensions")
+    sigma = stats.std(axis=1, ddof=1, keepdims=True)
+    z = np.zeros_like(stats)
+    nz = sigma[:, 0] > 0
+    z[nz] = (stats[nz] - y[nz]) / sigma[nz]
+    return z
+
+
+def allocate_dimensions(z: np.ndarray, total: int, *,
+                        min_per_row: int = 2) -> DimensionSets:
+    """Pick the ``total`` most negative entries of ``z`` with a row floor.
+
+    Exactly the paper's greedy for the separable convex resource
+    allocation problem: sort all ``Z_{i,j}``, preallocate the
+    ``min_per_row`` smallest per row, then take the remaining
+    ``total - k*min_per_row`` smallest among the rest.
+
+    Returns a list of sorted dimension tuples, one per row.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    k, d = z.shape
+    if min_per_row > d:
+        raise ParameterError(
+            f"min_per_row={min_per_row} exceeds dimensionality d={d}"
+        )
+    if total < k * min_per_row:
+        raise ParameterError(
+            f"total={total} cannot satisfy the floor of {min_per_row} "
+            f"dimensions for each of the {k} clusters"
+        )
+    if total > k * d:
+        raise ParameterError(f"total={total} exceeds the k*d={k * d} available")
+
+    chosen = [set() for _ in range(k)]
+    # preallocation: the min_per_row smallest Z in each row
+    for i in range(k):
+        order = np.argsort(z[i], kind="stable")[:min_per_row]
+        chosen[i].update(int(j) for j in order)
+    remaining = total - k * min_per_row
+    if remaining > 0:
+        flat_order = np.argsort(z, axis=None, kind="stable")
+        for flat in flat_order:
+            if remaining == 0:
+                break
+            i, j = divmod(int(flat), d)
+            if j not in chosen[i]:
+                chosen[i].add(j)
+                remaining -= 1
+    return [tuple(sorted(s)) for s in chosen]
+
+
+def find_dimensions(X: np.ndarray, medoid_indices: np.ndarray, l: float, *,
+                    metric: Union[str, Metric] = "euclidean",
+                    min_per_cluster: int = 2,
+                    localities: Optional[Sequence[np.ndarray]] = None) -> DimensionSets:
+    """The paper's ``FindDimensions`` for a concrete medoid set.
+
+    Computes localities (unless given), the ``X_{i,j}`` statistics, the
+    Z-scores, and the constrained allocation of ``k*l`` dimensions.
+    """
+    medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
+    k = medoid_indices.size
+    total = int(round(k * l))
+    if localities is None:
+        localities, _ = compute_localities(
+            X, medoid_indices, metric=metric,
+            min_locality_size=max(2, min_per_cluster),
+        )
+    stats = dimension_statistics(X, X[medoid_indices], localities)
+    return allocate_dimensions(zscores(stats), total, min_per_row=min_per_cluster)
+
+
+def find_dimensions_from_clusters(X: np.ndarray, labels: np.ndarray,
+                                  medoid_indices: np.ndarray, l: float, *,
+                                  min_per_cluster: int = 2,
+                                  fallback: Optional[DimensionSets] = None) -> DimensionSets:
+    """Refinement-phase variant: statistics from clusters, not localities.
+
+    For each medoid the distribution of its *assigned cluster* replaces
+    the locality (paper section 2.3: "we use C_i instead of L_i").
+    A cluster that ended up empty falls back to the corresponding entry
+    of ``fallback`` (the iterative-phase dimensions) when provided, or
+    to the medoid's nearest 2 points otherwise.
+    """
+    X = check_array(X, name="X")
+    labels = np.asarray(labels)
+    medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
+    k = medoid_indices.size
+    total = int(round(k * l))
+
+    groups: List[np.ndarray] = []
+    empty_rows: List[int] = []
+    for i in range(k):
+        members = np.flatnonzero(labels == i)
+        if members.size == 0:
+            empty_rows.append(i)
+            # placeholder: nearest 2 points in full space
+            dist = np.abs(X - X[medoid_indices[i]]).sum(axis=1)
+            dist[medoid_indices[i]] = np.inf
+            members = np.argsort(dist, kind="stable")[:2]
+        groups.append(members)
+
+    stats = dimension_statistics(X, X[medoid_indices], groups)
+    sets = allocate_dimensions(zscores(stats), total, min_per_row=min_per_cluster)
+    if fallback is not None:
+        for i in empty_rows:
+            sets[i] = tuple(sorted(fallback[i]))
+    return sets

@@ -1,0 +1,195 @@
+"""Iterative phase: CLARANS-style hill climbing over medoid sets (§2.2).
+
+The search graph's vertices are the k-subsets of the candidate pool
+``M``.  From the best vertex found so far, the algorithm repeatedly
+replaces that vertex's *bad* medoids with random pool points and keeps
+the new vertex iff its objective improves.  Bad medoids are:
+
+* the medoid of the cluster with the fewest points, always; and
+* the medoid of any cluster with fewer than ``N/k * min_deviation``
+  points — heuristically an outlier medoid, or one of several medoids
+  piercing the same natural cluster.
+
+Termination: ``max_bad_tries`` consecutive non-improving vertices, or
+the ``max_iterations`` safety cap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..distance.base import Metric
+from ..exceptions import ParameterError
+from ..rng import SeedLike, ensure_rng
+from ..validation import check_array
+from .assignment import assign_points
+from .dimensions import compute_localities, find_dimensions
+from .objective import evaluate_clusters
+
+__all__ = [
+    "find_bad_medoids",
+    "replace_bad_medoids",
+    "run_iterative_phase",
+    "IterationRecord",
+    "IterativePhaseResult",
+]
+
+
+@dataclass
+class IterationRecord:
+    """One vertex visit during hill climbing (for diagnostics/ablations)."""
+
+    iteration: int
+    objective: float
+    improved: bool
+    medoid_indices: Tuple[int, ...]
+    bad_positions: Tuple[int, ...]
+    locality_sizes: Tuple[int, ...]
+
+
+@dataclass
+class IterativePhaseResult:
+    """Outcome of the hill-climbing phase."""
+
+    medoid_indices: np.ndarray
+    dim_sets: List[Tuple[int, ...]]
+    labels: np.ndarray
+    objective: float
+    n_iterations: int
+    n_improvements: int
+    terminated_by: str
+    history: List[IterationRecord] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def objective_history(self) -> List[float]:
+        """Objective of every visited vertex, in visit order."""
+        return [rec.objective for rec in self.history]
+
+
+def find_bad_medoids(labels: np.ndarray, k: int, min_deviation: float) -> List[int]:
+    """Positions (0..k-1) of the bad medoids for the current clustering."""
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    sizes = np.array([np.count_nonzero(labels == i) for i in range(k)])
+    threshold = (n / k) * min_deviation
+    bad = set(np.flatnonzero(sizes < threshold).tolist())
+    bad.add(int(np.argmin(sizes)))  # the smallest cluster is always bad
+    return sorted(bad)
+
+
+def replace_bad_medoids(current: np.ndarray, bad_positions: Sequence[int],
+                        pool: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """New medoid-index set with bad positions swapped for fresh pool points.
+
+    Replacement points are drawn uniformly from pool points not already
+    in the (kept part of the) set, so the result has ``k`` distinct
+    indices.  If the pool is exhausted the bad medoids are kept.
+    """
+    current = np.asarray(current, dtype=np.intp)
+    new = current.copy()
+    keep = np.delete(current, list(bad_positions))
+    available = np.setdiff1d(pool, keep, assume_unique=False)
+    # also exclude the bad medoids themselves: a swap must move the vertex
+    available = np.setdiff1d(available, current[list(bad_positions)])
+    rng.shuffle(available)
+    for slot, pos in enumerate(bad_positions):
+        if slot >= available.size:
+            break  # pool exhausted; keep the old medoid at this position
+        new[pos] = available[slot]
+    return new
+
+
+def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
+                        metric: Union[str, Metric] = "euclidean",
+                        min_deviation: float = 0.1,
+                        max_bad_tries: int = 20,
+                        max_iterations: int = 300,
+                        min_dims_per_cluster: int = 2,
+                        seed: SeedLike = None,
+                        keep_history: bool = True) -> IterativePhaseResult:
+    """Hill-climb to the best medoid set drawn from ``pool``.
+
+    Parameters mirror :class:`~repro.core.config.ProclusConfig`;
+    ``pool`` holds candidate medoid indices into ``X``.
+    """
+    t0 = time.perf_counter()
+    X = check_array(X, name="X")
+    pool = np.asarray(pool, dtype=np.intp)
+    if pool.size < k:
+        raise ParameterError(
+            f"medoid pool has {pool.size} points but k={k} are needed"
+        )
+    rng = ensure_rng(seed)
+
+    current = rng.choice(pool, size=k, replace=False)
+    best_obj = np.inf
+    best_medoids = current.copy()
+    best_dims: List[Tuple[int, ...]] = []
+    best_labels = np.zeros(X.shape[0], dtype=np.int64)
+    bad_positions: List[int] = list(range(k))
+    history: List[IterationRecord] = []
+    n_improvements = 0
+    tries_without_improvement = 0
+    terminated_by = "max_iterations"
+
+    iteration = 0
+    while iteration < max_iterations:
+        iteration += 1
+        localities, _ = compute_localities(
+            X, current, metric=metric,
+            min_locality_size=max(2, min_dims_per_cluster),
+        )
+        dims = find_dimensions(
+            X, current, l, metric=metric,
+            min_per_cluster=min_dims_per_cluster, localities=localities,
+        )
+        labels = assign_points(X, X[current], dims)
+        objective = evaluate_clusters(X, labels, dims)
+
+        improved = objective < best_obj
+        if improved:
+            best_obj = objective
+            best_medoids = current.copy()
+            best_dims = dims
+            best_labels = labels
+            bad_positions = find_bad_medoids(labels, k, min_deviation)
+            n_improvements += 1
+            tries_without_improvement = 0
+        else:
+            tries_without_improvement += 1
+
+        if keep_history:
+            history.append(IterationRecord(
+                iteration=iteration,
+                objective=float(objective),
+                improved=improved,
+                medoid_indices=tuple(int(i) for i in current),
+                bad_positions=tuple(bad_positions),
+                locality_sizes=tuple(len(loc) for loc in localities),
+            ))
+
+        if tries_without_improvement >= max_bad_tries:
+            terminated_by = "no_improvement"
+            break
+        current = replace_bad_medoids(best_medoids, bad_positions, pool, rng)
+        if np.array_equal(np.sort(current), np.sort(best_medoids)):
+            # pool exhausted: no neighbouring vertex remains to try
+            terminated_by = "pool_exhausted"
+            break
+
+    return IterativePhaseResult(
+        medoid_indices=best_medoids,
+        dim_sets=best_dims,
+        labels=best_labels,
+        objective=float(best_obj),
+        n_iterations=iteration,
+        n_improvements=n_improvements,
+        terminated_by=terminated_by,
+        history=history,
+        seconds=time.perf_counter() - t0,
+    )

@@ -1,0 +1,65 @@
+"""Clustering objective (paper Figure 6, ``EvaluateClusters``).
+
+For each cluster ``C_i`` with dimension set ``D_i``:
+
+* ``Y_{i,j}`` = average distance of the points of ``C_i`` to the
+  cluster *centroid* (not the medoid) along dimension ``j in D_i``;
+* ``w_i = mean_{j in D_i} Y_{i,j}`` — the cluster's segmental dispersion.
+
+The objective is the size-weighted mean ``sum_i |C_i| * w_i / N``;
+lower is better.  Points labelled as outliers (label ``-1``) are skipped
+in the numerator but the paper's normalisation by the full ``N`` is kept
+(during the iterative phase every point is assigned, so the distinction
+only matters if callers evaluate a refined clustering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..validation import check_array
+
+__all__ = ["evaluate_clusters", "cluster_dispersions"]
+
+
+def cluster_dispersions(X: np.ndarray, labels: np.ndarray,
+                        dim_sets: Sequence[Sequence[int]]) -> Dict[int, float]:
+    """Per-cluster segmental dispersion ``w_i`` about the centroid.
+
+    Empty clusters get ``w_i = 0.0`` (they contribute nothing to the
+    objective but are flagged as bad medoids by the caller).
+    """
+    X = check_array(X, name="X")
+    labels = np.asarray(labels)
+    k = len(dim_sets)
+    out: Dict[int, float] = {}
+    for i in range(k):
+        dims = np.asarray(list(dim_sets[i]), dtype=np.intp)
+        if dims.size == 0:
+            raise ParameterError(f"cluster {i} has an empty dimension set")
+        members = labels == i
+        if not members.any():
+            out[i] = 0.0
+            continue
+        sub = X[members][:, dims]
+        centroid = sub.mean(axis=0)
+        out[i] = float(np.abs(sub - centroid).mean())
+    return out
+
+
+def evaluate_clusters(X: np.ndarray, labels: np.ndarray,
+                      dim_sets: Sequence[Sequence[int]]) -> float:
+    """The paper's objective: size-weighted mean dispersion, lower is better."""
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    if n == 0:
+        raise ParameterError("cannot evaluate an empty clustering")
+    dispersions = cluster_dispersions(X, labels, dim_sets)
+    total = 0.0
+    for i, w in dispersions.items():
+        size = int(np.count_nonzero(labels == i))
+        total += size * w
+    return total / n

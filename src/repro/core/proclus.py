@@ -1,0 +1,305 @@
+"""Public PROCLUS API: estimator class and one-call function.
+
+Example
+-------
+>>> from repro.data import generate
+>>> from repro.core import Proclus
+>>> ds = generate(2000, 20, 5, cluster_dim_counts=[7] * 5, seed=7)
+>>> result = Proclus(k=5, l=7, seed=7).fit(ds.points)
+>>> sorted(result.cluster_sizes().values())  # doctest: +SKIP
+[...]
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..distance.base import Metric
+from ..exceptions import NotFittedError, ParameterError
+from ..rng import SeedLike, ensure_rng, spawn
+from ..validation import check_array
+from .assignment import assign_points
+from .config import ProclusConfig
+from .initialization import initialize_medoid_pool
+from .iterative import run_iterative_phase
+from .objective import evaluate_clusters
+from .refinement import refine_clusters
+from .result import ProclusResult
+
+__all__ = ["Proclus", "proclus"]
+
+
+def proclus(X, k: int, l: float, *,
+            sample_factor: int = 30, pool_factor: int = 5,
+            min_deviation: float = 0.1, max_bad_tries: int = 20,
+            max_iterations: int = 300,
+            metric: Union[str, Metric] = "euclidean",
+            min_dims_per_cluster: int = 2,
+            handle_outliers: bool = True,
+            keep_history: bool = True,
+            restarts: int = 1,
+            fit_sample_size: Optional[int] = None,
+            seed: SeedLike = None) -> ProclusResult:
+    """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
+
+    Parameters
+    ----------
+    X:
+        Data matrix ``(N, d)`` or a :class:`~repro.data.Dataset`.
+    k, l:
+        Number of clusters and average cluster dimensionality.
+    handle_outliers:
+        Disable to keep every point assigned (ablation hook; the paper
+        always detects outliers in the refinement pass).
+    restarts:
+        Run the whole pipeline this many times with independent random
+        streams and keep the run with the lowest *iterative-phase*
+        objective.  The hill climbing is a randomised local search and
+        can converge with two medoids piercing one natural cluster; the
+        paper's own remedy (section 4.3) is to "simply run the
+        algorithm a few times".  Selection uses the iterative objective
+        because the refined one shrinks artificially when a bad
+        solution declares many points outliers.
+    fit_sample_size:
+        CLARA-style large-database mode: run the initialization and the
+        hill climbing on a uniform subsample of this size, then perform
+        the refinement pass (dimension recomputation, assignment,
+        outlier detection) over the *full* data.  Cuts the per-iteration
+        O(N·k·d) cost to O(sample·k·d) while the final clustering still
+        covers every point.  ``None`` (default) uses all points
+        throughout, as the paper does.
+
+    Other parameters are documented on
+    :class:`~repro.core.config.ProclusConfig`.
+    """
+    if isinstance(X, Dataset):
+        X = X.points
+    X = check_array(X, name="X")
+    if restarts < 1:
+        raise ParameterError(f"restarts must be >= 1; got {restarts}")
+    if restarts > 1:
+        rng = ensure_rng(seed)
+        best: Optional[ProclusResult] = None
+        for child in spawn(rng, restarts):
+            candidate = proclus(
+                X, k, l,
+                sample_factor=sample_factor, pool_factor=pool_factor,
+                min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+                max_iterations=max_iterations, metric=metric,
+                min_dims_per_cluster=min_dims_per_cluster,
+                handle_outliers=handle_outliers, keep_history=keep_history,
+                restarts=1, seed=child,
+            )
+            if best is None or candidate.iterative_objective < best.iterative_objective:
+                best = candidate
+        return best
+
+    if fit_sample_size is not None and fit_sample_size < X.shape[0]:
+        if fit_sample_size < max(sample_factor, pool_factor) * k:
+            raise ParameterError(
+                f"fit_sample_size={fit_sample_size} is smaller than the "
+                f"initialization needs (A*k = {sample_factor * k})"
+            )
+        rng = ensure_rng(seed)
+        rng_sample, rng_fit = spawn(rng, 2)
+        sample_idx = rng_sample.choice(
+            X.shape[0], size=fit_sample_size, replace=False,
+        )
+        t0 = time.perf_counter()
+        sub = proclus(
+            X[sample_idx], k, l,
+            sample_factor=sample_factor, pool_factor=pool_factor,
+            min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+            max_iterations=max_iterations, metric=metric,
+            min_dims_per_cluster=min_dims_per_cluster,
+            handle_outliers=False, keep_history=keep_history,
+            seed=rng_fit,
+        )
+        t_sample_fit = time.perf_counter() - t0
+        # refinement over the FULL database with the sample's medoids
+        t0 = time.perf_counter()
+        medoid_indices = sample_idx[sub.medoid_indices]
+        dim_sets = [sub.dimensions[i] for i in range(k)]
+        full_labels = assign_points(X, X[medoid_indices], dim_sets)
+        refined = refine_clusters(
+            X, full_labels, medoid_indices, l,
+            min_dims_per_cluster=min_dims_per_cluster,
+            fallback_dims=dim_sets,
+            handle_outliers=handle_outliers,
+        )
+        objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
+        return ProclusResult(
+            labels=refined.labels,
+            medoids=X[medoid_indices],
+            medoid_indices=medoid_indices,
+            dimensions={i: d for i, d in enumerate(refined.dim_sets)},
+            objective=float(objective),
+            iterative_objective=sub.iterative_objective,
+            n_iterations=sub.n_iterations,
+            n_improvements=sub.n_improvements,
+            objective_history=sub.objective_history,
+            phase_seconds={
+                "sample_fit": t_sample_fit,
+                "refinement": time.perf_counter() - t0,
+            },
+            terminated_by=sub.terminated_by,
+        )
+
+    config = ProclusConfig(
+        k=k, l=l, sample_factor=sample_factor, pool_factor=pool_factor,
+        min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+        max_iterations=max_iterations, metric=metric,
+        min_dims_per_cluster=min_dims_per_cluster, seed=seed,
+    ).validated(X.shape[0], X.shape[1])
+
+    rng = ensure_rng(config.seed)
+    rng_init, rng_iter = spawn(rng, 2)
+
+    # Phase 1: initialization ------------------------------------------
+    t0 = time.perf_counter()
+    pool = initialize_medoid_pool(
+        X, config.sample_size, config.pool_size,
+        metric=config.metric, seed=rng_init,
+    )
+    t_init = time.perf_counter() - t0
+
+    # Phase 2: iterative hill climbing ---------------------------------
+    phase2 = run_iterative_phase(
+        X, pool, config.k, config.l,
+        metric=config.metric,
+        min_deviation=config.min_deviation,
+        max_bad_tries=config.max_bad_tries,
+        max_iterations=config.max_iterations,
+        min_dims_per_cluster=config.min_dims_per_cluster,
+        seed=rng_iter,
+        keep_history=keep_history,
+    )
+
+    # Phase 3: refinement ----------------------------------------------
+    t0 = time.perf_counter()
+    refined = refine_clusters(
+        X, phase2.labels, phase2.medoid_indices, config.l,
+        min_dims_per_cluster=config.min_dims_per_cluster,
+        fallback_dims=phase2.dim_sets,
+        handle_outliers=handle_outliers,
+    )
+    final_objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
+    t_refine = time.perf_counter() - t0
+
+    return ProclusResult(
+        labels=refined.labels,
+        medoids=X[phase2.medoid_indices],
+        medoid_indices=phase2.medoid_indices,
+        dimensions={i: dims for i, dims in enumerate(refined.dim_sets)},
+        objective=float(final_objective),
+        iterative_objective=float(phase2.objective),
+        n_iterations=phase2.n_iterations,
+        n_improvements=phase2.n_improvements,
+        objective_history=phase2.objective_history,
+        phase_seconds={
+            "initialization": t_init,
+            "iterative": phase2.seconds,
+            "refinement": t_refine,
+        },
+        terminated_by=phase2.terminated_by,
+    )
+
+
+class Proclus:
+    """Estimator-style wrapper with ``fit`` / ``fit_predict`` / ``predict``.
+
+    Parameters match :func:`proclus`.  After :meth:`fit`, the fitted
+    :class:`~repro.core.result.ProclusResult` is available as
+    :attr:`result_`, with convenience mirrors :attr:`labels_`,
+    :attr:`medoids_`, and :attr:`dimensions_`.
+    """
+
+    def __init__(self, k: int, l: float, *,
+                 sample_factor: int = 30, pool_factor: int = 5,
+                 min_deviation: float = 0.1, max_bad_tries: int = 20,
+                 max_iterations: int = 300,
+                 metric: Union[str, Metric] = "euclidean",
+                 min_dims_per_cluster: int = 2,
+                 handle_outliers: bool = True,
+                 keep_history: bool = True,
+                 restarts: int = 1,
+                 seed: SeedLike = None):
+        self.k = k
+        self.l = l
+        self.sample_factor = sample_factor
+        self.pool_factor = pool_factor
+        self.min_deviation = min_deviation
+        self.max_bad_tries = max_bad_tries
+        self.max_iterations = max_iterations
+        self.metric = metric
+        self.min_dims_per_cluster = min_dims_per_cluster
+        self.handle_outliers = handle_outliers
+        self.keep_history = keep_history
+        self.restarts = restarts
+        self.seed = seed
+        self.result_: Optional[ProclusResult] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X) -> "Proclus":
+        """Cluster ``X`` (array or Dataset); returns ``self``."""
+        self.result_ = proclus(
+            X, self.k, self.l,
+            sample_factor=self.sample_factor,
+            pool_factor=self.pool_factor,
+            min_deviation=self.min_deviation,
+            max_bad_tries=self.max_bad_tries,
+            max_iterations=self.max_iterations,
+            metric=self.metric,
+            min_dims_per_cluster=self.min_dims_per_cluster,
+            handle_outliers=self.handle_outliers,
+            keep_history=self.keep_history,
+            restarts=self.restarts,
+            seed=self.seed,
+        )
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit and return the label array."""
+        return self.fit(X).labels_
+
+    def predict(self, X) -> np.ndarray:
+        """Assign *new* points to the fitted medoids (no outlier logic)."""
+        result = self._fitted()
+        if isinstance(X, Dataset):
+            X = X.points
+        X = check_array(X, name="X")
+        dim_sets = [result.dimensions[i] for i in range(result.k)]
+        return assign_points(X, result.medoids, dim_sets)
+
+    # ------------------------------------------------------------------
+    def _fitted(self) -> ProclusResult:
+        if self.result_ is None:
+            raise NotFittedError("call fit() before accessing results")
+        return self.result_
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """Labels from the last ``fit`` (``-1`` marks outliers)."""
+        return self._fitted().labels
+
+    @property
+    def medoids_(self) -> np.ndarray:
+        """Medoid coordinates from the last ``fit``."""
+        return self._fitted().medoids
+
+    @property
+    def dimensions_(self) -> dict:
+        """Per-cluster dimension sets from the last ``fit``."""
+        return self._fitted().dimensions
+
+    @property
+    def objective_(self) -> float:
+        """Final objective value from the last ``fit``."""
+        return self._fitted().objective
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Proclus(k={self.k}, l={self.l})"

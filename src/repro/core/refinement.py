@@ -1,0 +1,113 @@
+"""Refinement phase (paper section 2.3).
+
+One more pass over the data after hill climbing:
+
+1. **Redo dimensions** using the distribution of each *cluster*
+   (``C_i``) instead of the medoid's locality (``L_i``) — the clusters
+   formed by the iterative phase describe the data better than raw
+   localities.
+2. **Reassign** all points with the new dimension sets.
+3. **Outliers**: medoid ``i``'s *sphere of influence* is
+   ``Delta_i = min_{j != i} d_{D_i}(m_i, m_j)`` — the smallest segmental
+   distance to another medoid, measured in ``m_i``'s own subspace.  A
+   point is an outlier when its segmental distance to *every* medoid
+   exceeds that medoid's sphere of influence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import OUTLIER_LABEL
+from ..distance.segmental import segmental_distances_to_point
+from ..validation import check_array
+from .assignment import segmental_distance_matrix
+from .dimensions import find_dimensions_from_clusters
+
+__all__ = ["spheres_of_influence", "detect_outliers", "refine_clusters",
+           "RefinementResult"]
+
+
+@dataclass
+class RefinementResult:
+    """Final labels, dimensions, and outlier diagnostics."""
+
+    labels: np.ndarray
+    dim_sets: List[Tuple[int, ...]]
+    spheres: np.ndarray
+    n_outliers: int
+
+
+def spheres_of_influence(medoids: np.ndarray,
+                         dim_sets: Sequence[Sequence[int]]) -> np.ndarray:
+    """``Delta_i`` for every medoid (segmental, in the medoid's own dims)."""
+    medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
+    k = medoids.shape[0]
+    spheres = np.empty(k, dtype=np.float64)
+    for i in range(k):
+        others = np.delete(np.arange(k), i)
+        dists = segmental_distances_to_point(
+            medoids[others], medoids[i], dim_sets[i]
+        )
+        spheres[i] = dists.min() if dists.size else np.inf
+    return spheres
+
+
+def detect_outliers(dist_matrix: np.ndarray, spheres: np.ndarray) -> np.ndarray:
+    """Boolean mask of points outside every medoid's sphere of influence.
+
+    ``dist_matrix`` is the ``(N, k)`` segmental-distance matrix where
+    column ``i`` uses ``D_i``.
+    """
+    return np.all(dist_matrix > spheres[None, :], axis=1)
+
+
+def refine_clusters(X: np.ndarray, labels: np.ndarray,
+                    medoid_indices: np.ndarray, l: float, *,
+                    min_dims_per_cluster: int = 2,
+                    fallback_dims: Optional[Sequence[Sequence[int]]] = None,
+                    handle_outliers: bool = True) -> RefinementResult:
+    """Run the full refinement pass and return the final clustering.
+
+    Parameters
+    ----------
+    X, labels, medoid_indices:
+        Data, iterative-phase labels, and the best medoid set.
+    l:
+        Average dimensionality (the dimension budget is ``k*l``).
+    fallback_dims:
+        Iterative-phase dimension sets, used for clusters that came out
+        empty (cannot be analysed).
+    handle_outliers:
+        The paper always detects outliers here; switchable for ablation.
+    """
+    X = check_array(X, name="X")
+    medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
+    fallback = (
+        [tuple(d) for d in fallback_dims] if fallback_dims is not None else None
+    )
+    dims = find_dimensions_from_clusters(
+        X, labels, medoid_indices, l,
+        min_per_cluster=min_dims_per_cluster, fallback=fallback,
+    )
+    medoids = X[medoid_indices]
+    dist = segmental_distance_matrix(X, medoids, dims)
+    new_labels = np.argmin(dist, axis=1).astype(np.int64)
+
+    spheres = spheres_of_influence(medoids, dims)
+    if handle_outliers:
+        outlier_mask = detect_outliers(dist, spheres)
+        new_labels[outlier_mask] = OUTLIER_LABEL
+        n_outliers = int(outlier_mask.sum())
+    else:
+        n_outliers = 0
+
+    return RefinementResult(
+        labels=new_labels,
+        dim_sets=dims,
+        spheres=spheres,
+        n_outliers=n_outliers,
+    )

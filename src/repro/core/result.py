@@ -1,0 +1,144 @@
+"""Result objects returned by PROCLUS (and reused by the baselines).
+
+:class:`ProclusResult` is the library's canonical description of a
+projected clustering: labels (with ``-1`` outliers), the medoids, the
+per-cluster dimension sets, the final objective value, and run
+diagnostics.  The experiment harness consumes these objects directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..data.dataset import OUTLIER_LABEL
+
+__all__ = ["ProclusResult"]
+
+
+@dataclass
+class ProclusResult:
+    """A fitted projected clustering.
+
+    Attributes
+    ----------
+    labels:
+        Integer array ``(n_points,)``; cluster ids ``0..k-1`` or ``-1``.
+    medoids:
+        Float array ``(k, d)`` of medoid coordinates.
+    medoid_indices:
+        Indices of the medoids in the original data matrix.
+    dimensions:
+        Mapping cluster id -> sorted tuple of that cluster's dimensions.
+    objective:
+        Final value of the paper's EvaluateClusters criterion (lower is
+        better) on the refined clustering (outliers excluded from the
+        numerator).
+    iterative_objective:
+        The hill-climbing phase's best objective, computed with *every*
+        point assigned.  Comparable across runs — use this to pick among
+        restarts (the refined ``objective`` shrinks artificially when a
+        bad solution dumps many points to outliers).
+    n_iterations / n_improvements:
+        Hill-climbing diagnostics.
+    objective_history:
+        Objective value of every vertex visited during hill climbing.
+    phase_seconds:
+        Wall-clock per phase: ``{"initialization": .., "iterative": ..,
+        "refinement": ..}``.
+    """
+
+    labels: np.ndarray
+    medoids: np.ndarray
+    medoid_indices: np.ndarray
+    dimensions: Dict[int, Tuple[int, ...]]
+    objective: float
+    iterative_objective: float = float("inf")
+    n_iterations: int = 0
+    n_improvements: int = 0
+    objective_history: List[float] = field(default_factory=list)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    terminated_by: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return int(self.medoids.shape[0])
+
+    @property
+    def n_points(self) -> int:
+        """Number of clustered input points (incl. outliers)."""
+        return int(self.labels.shape[0])
+
+    @property
+    def n_outliers(self) -> int:
+        """Number of points labelled as outliers."""
+        return int(np.count_nonzero(self.labels == OUTLIER_LABEL))
+
+    @property
+    def outlier_indices(self) -> np.ndarray:
+        """Indices of points labelled as outliers."""
+        return np.flatnonzero(self.labels == OUTLIER_LABEL)
+
+    def cluster_indices(self, cluster_id: int) -> np.ndarray:
+        """Indices of points assigned to ``cluster_id``."""
+        return np.flatnonzero(self.labels == cluster_id)
+
+    def cluster_sizes(self) -> Dict[int, int]:
+        """Mapping cluster id -> assigned point count."""
+        return {
+            cid: int(np.count_nonzero(self.labels == cid))
+            for cid in range(self.k)
+        }
+
+    def clusters(self) -> Dict[int, np.ndarray]:
+        """Mapping cluster id -> indices of member points."""
+        return {cid: self.cluster_indices(cid) for cid in range(self.k)}
+
+    @property
+    def average_dimensionality(self) -> float:
+        """Mean ``|D_i|`` over clusters — should equal the input ``l``."""
+        if not self.dimensions:
+            return 0.0
+        return float(np.mean([len(d) for d in self.dimensions.values()]))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (labels omitted; sizes included)."""
+        return {
+            "k": self.k,
+            "objective": self.objective,
+            "n_outliers": self.n_outliers,
+            "cluster_sizes": self.cluster_sizes(),
+            "dimensions": {cid: list(d) for cid, d in self.dimensions.items()},
+            "n_iterations": self.n_iterations,
+            "n_improvements": self.n_improvements,
+            "terminated_by": self.terminated_by,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"PROCLUS result: k={self.k}, N={self.n_points}, "
+            f"objective={self.objective:.4f}, outliers={self.n_outliers}",
+        ]
+        sizes = self.cluster_sizes()
+        for cid in range(self.k):
+            dims = ", ".join(str(j) for j in self.dimensions.get(cid, ()))
+            lines.append(
+                f"  cluster {cid}: {sizes[cid]:>8d} points, dims [{dims}]"
+            )
+        lines.append(
+            f"  iterations={self.n_iterations}, improvements="
+            f"{self.n_improvements}, stop={self.terminated_by or 'n/a'}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProclusResult(k={self.k}, N={self.n_points}, "
+            f"objective={self.objective:.4f}, outliers={self.n_outliers})"
+        )

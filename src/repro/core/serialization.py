@@ -1,0 +1,79 @@
+"""Persist fitted results: save/load :class:`ProclusResult` as ``.npz``.
+
+A fitted projected clustering is often computed once and consumed by
+downstream jobs (reporting, assignment of new records).  The format is
+a single compressed ``.npz``: arrays stored natively, scalar/structured
+metadata as one JSON blob — no pickle, so files are safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import DataError
+from .result import ProclusResult
+
+__all__ = ["save_result", "load_result"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: ProclusResult, path: PathLike) -> Path:
+    """Write ``result`` to ``path`` (``.npz``); returns the path."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "dimensions": {str(k): list(v) for k, v in result.dimensions.items()},
+        "objective": result.objective,
+        "iterative_objective": result.iterative_objective,
+        "n_iterations": result.n_iterations,
+        "n_improvements": result.n_improvements,
+        "objective_history": list(result.objective_history),
+        "phase_seconds": dict(result.phase_seconds),
+        "terminated_by": result.terminated_by,
+    }
+    np.savez_compressed(
+        path,
+        labels=result.labels,
+        medoids=result.medoids,
+        medoid_indices=result.medoid_indices,
+        meta_json=np.asarray(json.dumps(meta)),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_result(path: PathLike) -> ProclusResult:
+    """Read a result previously written by :func:`save_result`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta_json"]))
+            labels = data["labels"]
+            medoids = data["medoids"]
+            medoid_indices = data["medoid_indices"]
+        except KeyError as exc:
+            raise DataError(f"{path} is not a saved ProclusResult: missing {exc}")
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise DataError(
+            f"{path} has format version {version}; this library reads "
+            f"version {_FORMAT_VERSION}"
+        )
+    return ProclusResult(
+        labels=labels,
+        medoids=medoids,
+        medoid_indices=medoid_indices,
+        dimensions={int(k): tuple(v) for k, v in meta["dimensions"].items()},
+        objective=float(meta["objective"]),
+        iterative_objective=float(meta.get("iterative_objective", np.inf)),
+        n_iterations=int(meta["n_iterations"]),
+        n_improvements=int(meta["n_improvements"]),
+        objective_history=[float(x) for x in meta["objective_history"]],
+        phase_seconds={k: float(v) for k, v in meta["phase_seconds"].items()},
+        terminated_by=str(meta["terminated_by"]),
+    )

@@ -1,0 +1,40 @@
+"""Datasets: the paper's synthetic workload generator, containers, and IO.
+
+:class:`~repro.data.dataset.Dataset` bundles the point matrix with its
+ground truth (cluster labels and per-cluster dimension sets), which the
+accuracy experiments need to build confusion matrices and compare
+recovered dimensions.  :func:`~repro.data.synthetic.generate` implements
+the generator of section 4.1 of the paper.
+"""
+
+from .dataset import Dataset, OUTLIER_LABEL
+from .synthetic import SyntheticConfig, SyntheticDataGenerator, generate
+from .io import load_csv, load_npz, save_csv, save_npz
+from .rotated import generate_rotated, random_rotation, rotate_clusters
+from .transforms import add_noise_dimensions, min_max_normalize, shuffle_points
+from .workloads import (
+    collaborative_filtering_workload,
+    customer_segmentation_workload,
+    sensor_fleet_workload,
+)
+
+__all__ = [
+    "Dataset",
+    "OUTLIER_LABEL",
+    "SyntheticConfig",
+    "SyntheticDataGenerator",
+    "generate",
+    "save_csv",
+    "load_csv",
+    "save_npz",
+    "load_npz",
+    "min_max_normalize",
+    "add_noise_dimensions",
+    "shuffle_points",
+    "generate_rotated",
+    "random_rotation",
+    "rotate_clusters",
+    "collaborative_filtering_workload",
+    "customer_segmentation_workload",
+    "sensor_fleet_workload",
+]

@@ -1,0 +1,115 @@
+"""Dataset persistence: CSV (human-inspectable) and NPZ (fast) round-trips.
+
+The CSV layout is one point per row, coordinates first, followed by an
+optional integer ``label`` column.  Ground-truth dimension sets travel in
+a ``# cluster_dims:`` header comment so a CSV written by
+:func:`save_csv` reloads losslessly with :func:`load_csv`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import DataError
+from .dataset import Dataset
+
+__all__ = ["save_csv", "load_csv", "save_npz", "load_npz"]
+
+PathLike = Union[str, Path]
+
+_DIMS_HEADER = "# cluster_dims:"
+_NAME_HEADER = "# name:"
+
+
+def save_csv(dataset: Dataset, path: PathLike) -> Path:
+    """Write ``dataset`` to CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"{_NAME_HEADER} {dataset.name}\n")
+        if dataset.cluster_dimensions is not None:
+            payload = {str(k): list(v) for k, v in dataset.cluster_dimensions.items()}
+            fh.write(f"{_DIMS_HEADER} {json.dumps(payload)}\n")
+        header = ",".join(f"x{j}" for j in range(dataset.n_dims))
+        if dataset.labels is not None:
+            header += ",label"
+        fh.write(header + "\n")
+        for i in range(dataset.n_points):
+            row = ",".join(repr(float(v)) for v in dataset.points[i])
+            if dataset.labels is not None:
+                row += f",{int(dataset.labels[i])}"
+            fh.write(row + "\n")
+    return path
+
+
+def load_csv(path: PathLike) -> Dataset:
+    """Read a dataset previously written by :func:`save_csv`."""
+    path = Path(path)
+    name = path.stem
+    cluster_dims = None
+    rows = []
+    labels = []
+    has_labels = False
+    with path.open("r", encoding="utf-8") as fh:
+        header_seen = False
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(_NAME_HEADER):
+                name = line[len(_NAME_HEADER):].strip()
+                continue
+            if line.startswith(_DIMS_HEADER):
+                payload = json.loads(line[len(_DIMS_HEADER):].strip())
+                cluster_dims = {int(k): tuple(v) for k, v in payload.items()}
+                continue
+            if line.startswith("#"):
+                continue
+            if not header_seen:
+                header_seen = True
+                has_labels = line.split(",")[-1].strip() == "label"
+                continue
+            parts = line.split(",")
+            if has_labels:
+                rows.append([float(v) for v in parts[:-1]])
+                labels.append(int(parts[-1]))
+            else:
+                rows.append([float(v) for v in parts])
+    if not rows:
+        raise DataError(f"{path} contains no data rows")
+    return Dataset(
+        points=np.asarray(rows, dtype=np.float64),
+        labels=np.asarray(labels, dtype=np.int64) if has_labels else None,
+        cluster_dimensions=cluster_dims,
+        name=name,
+    )
+
+
+def save_npz(dataset: Dataset, path: PathLike) -> Path:
+    """Write ``dataset`` to a compressed ``.npz``; returns the path."""
+    path = Path(path)
+    arrays = {"points": dataset.points, "name": np.asarray(dataset.name)}
+    if dataset.labels is not None:
+        arrays["labels"] = dataset.labels
+    if dataset.cluster_dimensions is not None:
+        payload = {str(k): list(v) for k, v in dataset.cluster_dimensions.items()}
+        arrays["cluster_dims_json"] = np.asarray(json.dumps(payload))
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path: PathLike) -> Dataset:
+    """Read a dataset previously written by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        points = data["points"]
+        labels = data["labels"] if "labels" in data else None
+        cluster_dims = None
+        if "cluster_dims_json" in data:
+            payload = json.loads(str(data["cluster_dims_json"]))
+            cluster_dims = {int(k): tuple(v) for k, v in payload.items()}
+        name = str(data["name"]) if "name" in data else Path(path).stem
+    return Dataset(points=points, labels=labels,
+                   cluster_dimensions=cluster_dims, name=name)

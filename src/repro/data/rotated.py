@@ -1,0 +1,87 @@
+"""Rotated projected clusters: the workload PROCLUS cannot handle.
+
+The PROCLUS model restricts cluster subspaces to subsets of the
+coordinate axes.  Its successor ORCLUS (see
+:mod:`repro.extensions.orclus`) removes that restriction.  To exercise
+the difference we generate the paper's axis-parallel workload and then
+rotate each cluster's point cloud about its anchor with a random
+orthogonal matrix: the cluster is still confined near a low-dimensional
+affine subspace, but that subspace is no longer axis-aligned, so no
+choice of coordinate dimensions makes the cluster tight.
+
+Ground truth keeps the labels; ``metadata["rotations"]`` records the
+per-cluster orthogonal matrices so tests can verify the geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..rng import SeedLike, ensure_rng
+from .dataset import Dataset
+from .synthetic import SyntheticConfig, SyntheticDataGenerator
+
+__all__ = ["random_rotation", "rotate_clusters", "generate_rotated"]
+
+
+def random_rotation(d: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-random ``d x d`` rotation (QR of a Gaussian matrix)."""
+    if d < 1:
+        raise ParameterError(f"d must be >= 1; got {d}")
+    gauss = rng.normal(size=(d, d))
+    q, r = np.linalg.qr(gauss)
+    # normalise sign so the distribution is Haar, and force det +1
+    q *= np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def rotate_clusters(dataset: Dataset, *, seed: SeedLike = None) -> Dataset:
+    """Rotate each ground-truth cluster's points about the cluster mean.
+
+    Outliers are left untouched (they are uniform; rotation changes
+    nothing statistically but would leak the box corners).  Returns a
+    new dataset; ``cluster_dimensions`` is dropped because after
+    rotation no axis-parallel dimension set describes the clusters —
+    that is the point.
+    """
+    if dataset.labels is None:
+        raise ParameterError("rotate_clusters needs ground-truth labels")
+    rng = ensure_rng(seed)
+    points = dataset.points.copy()
+    rotations: Dict[int, np.ndarray] = {}
+    for cid in dataset.cluster_ids:
+        members = np.flatnonzero(dataset.labels == cid)
+        centre = points[members].mean(axis=0)
+        rotation = random_rotation(dataset.n_dims, rng)
+        rotations[cid] = rotation
+        points[members] = (points[members] - centre) @ rotation.T + centre
+    return Dataset(
+        points=points,
+        labels=dataset.labels.copy(),
+        cluster_dimensions=None,
+        name=f"{dataset.name}[rotated]",
+        metadata={**dataset.metadata, "rotations": rotations},
+    )
+
+
+def generate_rotated(n_points: int = 5000, n_dims: int = 20,
+                     n_clusters: int = 5, *,
+                     cluster_dim_counts: Optional[Sequence[int]] = None,
+                     outlier_fraction: float = 0.05,
+                     seed: SeedLike = None) -> Dataset:
+    """One-call rotated workload (generator of §4.1 + per-cluster rotation)."""
+    rng = ensure_rng(seed)
+    cfg = SyntheticConfig(
+        n_points=n_points, n_dims=n_dims, n_clusters=n_clusters,
+        cluster_dim_counts=(list(cluster_dim_counts)
+                            if cluster_dim_counts is not None else None),
+        outlier_fraction=outlier_fraction,
+        name="rotated", seed=rng,
+    )
+    base = SyntheticDataGenerator(cfg).generate()
+    return rotate_clusters(base, seed=rng)

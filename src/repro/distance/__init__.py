@@ -1,0 +1,60 @@
+"""Distance functions used throughout the library.
+
+The paper works with three families of distances:
+
+* classic **Lp norms** (Manhattan ``L1``, Euclidean ``L2``, general ``Lp``,
+  and the ``L-infinity`` limit) — used by the initialization phase and the
+  locality analysis;
+* the **Manhattan segmental distance** — the paper's central metric: the
+  Manhattan distance restricted to a dimension subset ``D`` and normalised
+  by ``|D|`` so clusters with different dimensionalities are comparable;
+* **pairwise kernels** over point sets (``cdist``-style), vectorised with
+  numpy for the batch operations the algorithms need.
+"""
+
+from .base import Metric, get_metric, register_metric, available_metrics
+from .lp import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    LpDistance,
+    ManhattanDistance,
+    chebyshev,
+    euclidean,
+    lp_distance,
+    manhattan,
+)
+from .matrix import (
+    cross_distances,
+    distances_to_point,
+    pairwise_distances,
+    per_dimension_average_distance,
+)
+from .segmental import (
+    ManhattanSegmentalDistance,
+    pairwise_segmental,
+    segmental_distance,
+    segmental_distances_to_point,
+)
+
+__all__ = [
+    "Metric",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+    "ManhattanDistance",
+    "EuclideanDistance",
+    "LpDistance",
+    "ChebyshevDistance",
+    "manhattan",
+    "euclidean",
+    "lp_distance",
+    "chebyshev",
+    "ManhattanSegmentalDistance",
+    "segmental_distance",
+    "segmental_distances_to_point",
+    "pairwise_segmental",
+    "pairwise_distances",
+    "cross_distances",
+    "distances_to_point",
+    "per_dimension_average_distance",
+]

@@ -1,0 +1,98 @@
+"""Lp-norm distances (paper section 1.2).
+
+The Manhattan distance is the ``L1`` norm, the Euclidean distance the
+``L2`` norm, and in general ``d_p(x, y) = (sum_i |x_i - y_i|^p)^(1/p)``.
+The Chebyshev distance is the ``p -> infinity`` limit.  Instances are
+registered in the metric registry under the names ``"manhattan"`` /
+``"l1"``, ``"euclidean"`` / ``"l2"``, and ``"chebyshev"`` / ``"linf"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .base import Metric, register_metric
+
+__all__ = [
+    "ManhattanDistance",
+    "EuclideanDistance",
+    "LpDistance",
+    "ChebyshevDistance",
+    "manhattan",
+    "euclidean",
+    "lp_distance",
+    "chebyshev",
+]
+
+
+class ManhattanDistance(Metric):
+    """L1 norm: ``sum_i |x_i - y_i|``."""
+
+    name = "manhattan"
+
+    def pairwise_to_point(self, X: np.ndarray, p: np.ndarray) -> np.ndarray:
+        return np.abs(X - p).sum(axis=1)
+
+
+class EuclideanDistance(Metric):
+    """L2 norm: ``sqrt(sum_i (x_i - y_i)^2)``."""
+
+    name = "euclidean"
+
+    def pairwise_to_point(self, X: np.ndarray, p: np.ndarray) -> np.ndarray:
+        diff = X - p
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+class ChebyshevDistance(Metric):
+    """L-infinity norm: ``max_i |x_i - y_i|``."""
+
+    name = "chebyshev"
+
+    def pairwise_to_point(self, X: np.ndarray, p: np.ndarray) -> np.ndarray:
+        return np.abs(X - p).max(axis=1)
+
+
+class LpDistance(Metric):
+    """General Lp norm for a fixed ``p >= 1``."""
+
+    def __init__(self, p: float):
+        p = float(p)
+        if p < 1:
+            raise ParameterError(f"Lp distance requires p >= 1; got {p}")
+        self.p = p
+        self.name = f"l{p:g}"
+
+    def pairwise_to_point(self, X: np.ndarray, p: np.ndarray) -> np.ndarray:
+        return np.power(
+            np.power(np.abs(X - p), self.p).sum(axis=1), 1.0 / self.p
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LpDistance(p={self.p:g})"
+
+
+_MANHATTAN = register_metric(ManhattanDistance(), "l1", "cityblock")
+_EUCLIDEAN = register_metric(EuclideanDistance(), "l2")
+_CHEBYSHEV = register_metric(ChebyshevDistance(), "linf", "linfinity")
+
+
+def manhattan(a, b) -> float:
+    """Manhattan (L1) distance between two points."""
+    return _MANHATTAN(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+
+def euclidean(a, b) -> float:
+    """Euclidean (L2) distance between two points."""
+    return _EUCLIDEAN(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+
+def chebyshev(a, b) -> float:
+    """Chebyshev (L-infinity) distance between two points."""
+    return _CHEBYSHEV(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+
+
+def lp_distance(a, b, p: float) -> float:
+    """General Lp distance between two points for ``p >= 1``."""
+    return LpDistance(p)(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))

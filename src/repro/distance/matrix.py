@@ -1,0 +1,75 @@
+"""Batch distance kernels (``cdist``-style) over point sets.
+
+These helpers are the numpy workhorses behind the algorithms: the greedy
+farthest-point selection, CLARANS, locality analysis, and cluster
+evaluation all reduce to "distances from a block of points to one or a
+few anchors".  Memory is kept linear in ``n`` by iterating over the
+(small) anchor set rather than materialising 3-D broadcast temporaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .base import Metric, get_metric
+
+__all__ = [
+    "distances_to_point",
+    "cross_distances",
+    "pairwise_distances",
+    "per_dimension_average_distance",
+]
+
+MetricLike = Union[str, Metric]
+
+
+def distances_to_point(X: np.ndarray, p, metric: MetricLike = "euclidean") -> np.ndarray:
+    """Distances from every row of ``X`` (n, d) to a single point ``p``."""
+    m = get_metric(metric)
+    X = np.asarray(X, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64).ravel()
+    return m.pairwise_to_point(X, p)
+
+
+def cross_distances(X: np.ndarray, anchors: np.ndarray,
+                    metric: MetricLike = "euclidean") -> np.ndarray:
+    """Matrix of shape ``(n, m)``: distance from each row of ``X`` to each anchor.
+
+    ``anchors`` is expected to be small (medoid sets); the loop over
+    anchors keeps peak memory at ``O(n)`` per column.
+    """
+    m = get_metric(metric)
+    X = np.asarray(X, dtype=np.float64)
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
+    out = np.empty((X.shape[0], anchors.shape[0]), dtype=np.float64)
+    for j, a in enumerate(anchors):
+        out[:, j] = m.pairwise_to_point(X, a)
+    return out
+
+
+def pairwise_distances(X: np.ndarray, metric: MetricLike = "euclidean") -> np.ndarray:
+    """Symmetric ``(n, n)`` distance matrix among the rows of ``X``."""
+    X = np.asarray(X, dtype=np.float64)
+    return cross_distances(X, X, metric)
+
+
+def per_dimension_average_distance(X: np.ndarray, p,
+                                   weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Average absolute distance along each dimension from rows of ``X`` to ``p``.
+
+    This is the quantity ``X_{i,j}`` in the paper's ``FindDimensions``:
+    the mean of ``|x_j - p_j|`` over the points ``x`` in a locality (or
+    cluster).  ``weights`` allows a weighted mean; an empty ``X`` raises
+    ``ValueError`` — callers guard against empty localities explicitly.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise ValueError("per_dimension_average_distance needs a non-empty 2-D array")
+    p = np.asarray(p, dtype=np.float64).ravel()
+    diffs = np.abs(X - p)
+    if weights is None:
+        return diffs.mean(axis=0)
+    weights = np.asarray(weights, dtype=np.float64)
+    return (diffs * weights[:, None]).sum(axis=0) / weights.sum()

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch one base class.  Validation
+failures raise :class:`ParameterError` (a subclass of ``ValueError`` as
+well, for API friendliness), while data-shape problems raise
+:class:`DataError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "DataError",
+    "NotFittedError",
+    "ConvergenceWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm or generator parameter is out of its legal range."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data has the wrong shape, dtype, or content (NaN/inf)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result attribute was requested before ``fit`` was called."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative algorithm stopped on its safety cap, not its criterion."""

@@ -1,0 +1,67 @@
+"""Runnable reproductions of every table and figure in the paper.
+
+Each experiment is a plain function returning a typed report object
+with a ``to_text()`` rendering that mirrors the paper's layout, plus
+machine-readable fields the benchmarks assert on.  The registry maps
+stable experiment names (``"table1"``, ``"fig7"``, ...) to runners so
+the CLI and the benchmark suite share one code path.
+
+Paper-scale parameters (N = 100,000) are encoded in
+:mod:`~repro.experiments.configs`; every runner takes ``n_points`` (and
+friends) so the benches can run the identical code at reduced scale.
+"""
+
+from .accuracy import AccuracyReport, run_accuracy_case, CASE1, CASE2
+from .ablations import (
+    run_initialization_ablation,
+    run_min_deviation_ablation,
+    run_pool_size_ablation,
+    run_locality_theorem_check,
+)
+from .clique_quality import CliqueQualityReport, run_clique_quality, run_table5_snapshot
+from .configs import CaseConfig, PAPER_N, SCALED_N
+from .curse import CurseReport, run_curse_of_dimensionality
+from .motivation import MotivationReport, figure1_dataset, run_motivation
+from .registry import get_experiment, list_experiments, register_experiment
+from .scalability import (
+    ScalabilityReport,
+    run_scalability_points,
+    run_scalability_cluster_dim,
+    run_scalability_space_dim,
+)
+from .summary import ClaimResult, ReproductionSummary, run_reproduction
+from .tables import format_table, format_series
+
+__all__ = [
+    "AccuracyReport",
+    "run_accuracy_case",
+    "CASE1",
+    "CASE2",
+    "CliqueQualityReport",
+    "run_clique_quality",
+    "run_table5_snapshot",
+    "ScalabilityReport",
+    "run_scalability_points",
+    "run_scalability_cluster_dim",
+    "run_scalability_space_dim",
+    "run_initialization_ablation",
+    "run_min_deviation_ablation",
+    "run_pool_size_ablation",
+    "run_locality_theorem_check",
+    "CaseConfig",
+    "PAPER_N",
+    "SCALED_N",
+    "CurseReport",
+    "run_curse_of_dimensionality",
+    "MotivationReport",
+    "figure1_dataset",
+    "run_motivation",
+    "get_experiment",
+    "list_experiments",
+    "register_experiment",
+    "ClaimResult",
+    "ReproductionSummary",
+    "run_reproduction",
+    "format_table",
+    "format_series",
+]

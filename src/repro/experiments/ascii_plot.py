@@ -1,0 +1,97 @@
+"""Terminal line charts for the scalability 'figures'.
+
+The paper's Figures 7-9 are runtime curves; this module renders them as
+ASCII so `proclus experiment fig7` shows an actual figure, not just a
+table.  Supports linear or logarithmic y-axis (Figure 7 in the paper is
+log-scale) and multiple series with distinct markers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(x_values: Sequence[float],
+                series: Dict[str, Sequence[float]], *,
+                width: int = 60, height: int = 16,
+                log_y: bool = False, x_label: str = "x",
+                y_label: str = "y", title: Optional[str] = None) -> str:
+    """Render one or more (x, y) series as an ASCII line chart.
+
+    Points are plotted with a per-series marker on a ``width x height``
+    canvas; collisions show the later series' marker.  A legend maps
+    markers to series names.
+    """
+    if not x_values or not series:
+        raise ParameterError("ascii_chart needs x values and >= 1 series")
+    if len(series) > len(_MARKERS):
+        raise ParameterError(f"at most {len(_MARKERS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ParameterError(
+                f"series {name!r} has {len(ys)} values for "
+                f"{len(x_values)} x positions"
+            )
+
+    all_y = [y for ys in series.values() for y in ys]
+    if log_y:
+        if min(all_y) <= 0:
+            raise ParameterError("log_y requires strictly positive values")
+        transform = math.log10
+    else:
+        transform = float
+
+    y_lo = min(transform(y) for y in all_y)
+    y_hi = max(transform(y) for y in all_y)
+    x_lo, x_hi = min(x_values), max(x_values)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), _MARKERS):
+        for x, y in zip(x_values, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((transform(y) - y_lo) / y_span * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    top_tick = _format_tick(10 ** y_hi if log_y else y_hi)
+    bottom_tick = _format_tick(10 ** y_lo if log_y else y_lo)
+    gutter = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label.rjust(gutter)}{' (log scale)' if log_y else ''}")
+    for r, row in enumerate(canvas):
+        if r == 0:
+            prefix = top_tick.rjust(gutter)
+        elif r == height - 1:
+            prefix = bottom_tick.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    left = _format_tick(x_lo)
+    right = _format_tick(x_hi)
+    axis = left + x_label.center(width - len(left) - len(right)) + right
+    lines.append(" " * (gutter + 1) + axis)
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)

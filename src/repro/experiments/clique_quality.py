@@ -1,0 +1,229 @@
+"""CLIQUE output quality: the section-4.2 study and Table 5.
+
+The paper probes when CLIQUE's output can be read as a partition:
+
+* a **tau sweep** on the Case-1 workload (xi = 10): at tau = 0.5% and
+  0.8% the overlap is ~1 but less than half the cluster points are
+  recovered; lowering tau to 0.2% / 0.1% recovers even less because the
+  bottom-up pass over-shoots into higher-dimensional subspaces and
+  splits clusters;
+* the **Table-5 snapshot**: with tau = 0.1% and output restricted to
+  the cluster dimensionality (7 in the paper), CLIQUE reports ~48
+  clusters with average overlap 3.63 and 74.6% of cluster points —
+  input clusters split across many output clusters.
+
+Both runners work at any scale; the shipped benches use reduced N with
+the same xi and percentage thresholds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.clique import Clique
+from ..baselines.clique.result import CliqueResult
+from ..data.dataset import Dataset
+from ..data.synthetic import SyntheticDataGenerator
+from ..metrics.confusion import confusion_from_memberships
+from ..metrics.overlap import average_overlap, cluster_points_recovered
+from .configs import make_case_config
+from .registry import register_experiment
+from .tables import format_table
+
+__all__ = ["CliqueQualityReport", "Table5Snapshot", "run_clique_quality",
+           "run_table5_snapshot"]
+
+
+@dataclass
+class CliqueQualityReport:
+    """Tau-sweep results on one workload."""
+
+    n_points: int
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """ASCII rendering of the sweep."""
+        table_rows = [
+            [f"{r['tau_percent']:.2f}%", int(r["n_clusters"]),
+             f"{r['overlap']:.2f}", f"{r['cluster_points_pct']:.1f}%",
+             int(r["max_dim"]), f"{r['seconds']:.2f}"]
+            for r in self.rows
+        ]
+        return format_table(
+            ["tau", "clusters", "overlap", "cluster pts", "max dim", "sec"],
+            table_rows,
+            title=f"CLIQUE quality sweep (N={self.n_points}, xi=10)",
+        )
+
+    def row_for(self, tau_percent: float) -> Dict[str, float]:
+        """The sweep row for a given tau (in percent)."""
+        for r in self.rows:
+            if abs(r["tau_percent"] - tau_percent) < 1e-9:
+                return r
+        raise KeyError(f"no row for tau={tau_percent}")
+
+
+@dataclass
+class Table5Snapshot:
+    """The fixed-dimensionality CLIQUE run of Table 5."""
+
+    n_points: int
+    tau_percent: float
+    target_dim: int
+    n_clusters: int
+    overlap: float
+    cluster_points_pct: float
+    snapshot_rows: List[Tuple[int, str, int]] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def to_text(self) -> str:
+        """Headline stats plus a Table-5-style snapshot of clusters."""
+        head = (
+            f"CLIQUE, clusters restricted to {self.target_dim} dimensions, "
+            f"tau={self.tau_percent:g}% (N={self.n_points})\n"
+            f"  output clusters = {self.n_clusters}\n"
+            f"  average overlap = {self.overlap:.2f}\n"
+            f"  cluster points  = {self.cluster_points_pct:.1f}%\n"
+        )
+        table = format_table(
+            ["Output", "Dominant input", "Points"],
+            [[out, dom, pts] for out, dom, pts in self.snapshot_rows],
+            title="Snapshot: output clusters vs dominant input cluster",
+        )
+        return head + "\n" + table
+
+
+def _case1_dataset(n_points: int, seed: int) -> Dataset:
+    cfg = make_case_config(1, n_points=n_points, seed=seed)
+    return SyntheticDataGenerator(cfg.synthetic_config()).generate()
+
+
+def run_clique_quality(*, n_points: int = 3000,
+                       tau_percents: Sequence[float] = (0.8, 0.5, 0.3),
+                       max_dimensionality: int = 8,
+                       seed: int = 1999,
+                       dataset: Optional[Dataset] = None) -> CliqueQualityReport:
+    """The tau sweep of section 4.2 on a Case-1-style workload.
+
+    ``tau_percents`` follow the paper's convention (percent of N).
+    ``max_dimensionality`` bounds the bottom-up pass; the paper observed
+    CLIQUE reaching 8 dimensions at its lowest tau.
+
+    The paper also sweeps tau = 0.2% and 0.1%.  Those settings are
+    *scale-free* pathological for the bottom-up pass: ``tau * xi^3 <= 2``
+    makes roughly half of all 3-dimensional cells dense regardless of N,
+    so the level-4 apriori join enumerates hundreds of millions of
+    candidates — tractable for the authors' C binary, not for pure
+    Python.  The default sweep stops at 0.3% (already past the quality
+    cliff: over-shoot dimensionality, falling cluster-point recovery);
+    pass ``tau_percents=(0.5, 0.8, 0.2, 0.1)`` to reproduce the paper's
+    exact grid if you can afford the runtime.
+    """
+    ds = dataset if dataset is not None else _case1_dataset(n_points, seed)
+    report = CliqueQualityReport(n_points=ds.n_points)
+    for tau_pct in tau_percents:
+        t0 = time.perf_counter()
+        clique = Clique(
+            xi=10, tau=tau_pct / 100.0,
+            max_dimensionality=max_dimensionality,
+        ).fit(ds.points)
+        res = clique.result
+        top, reported_dim = _reported_clusters(res)
+        memberships = [c.point_indices for c in top]
+        report.rows.append({
+            "tau_percent": float(tau_pct),
+            "n_clusters": float(len(top)),
+            "overlap": average_overlap(memberships),
+            "cluster_points_pct": 100.0 * cluster_points_recovered(
+                memberships, ds.labels),
+            "max_dim": float(reported_dim),
+            "seconds": time.perf_counter() - t0,
+        })
+    return report
+
+
+def _reported_clusters(res: CliqueResult, min_coverage: float = 0.10):
+    """CLIQUE's tool-level reported clusters: the highest dimensionality
+    whose clusters cover a non-negligible share of the points.
+
+    Lower-dimensional projections of a dense region are dense too, but
+    the tool reports the deepest *meaningful* level; a handful of
+    borderline cells one level higher (integer-threshold noise at small
+    N) should not masquerade as the output dimensionality.  The paper's
+    runs show exactly this reporting: 7-dimensional clusters at
+    tau = 0.5%/0.8% and an over-shoot to 8 dimensions at 0.1%/0.2%,
+    where the low threshold makes the extra level substantial.
+    """
+    for q in range(res.max_dimensionality, 0, -1):
+        clusters = res.clusters_of_dimensionality(q)
+        if not clusters:
+            continue
+        covered = np.unique(
+            np.concatenate([c.point_indices for c in clusters])
+        ).size
+        if covered >= min_coverage * res.n_points:
+            return clusters, q
+    return res.clusters_of_dimensionality(res.max_dimensionality), res.max_dimensionality
+
+
+def run_table5_snapshot(*, n_points: int = 3000, tau_percent: float = 0.3,
+                        target_dim: int = 7, seed: int = 1999,
+                        max_rows: int = 10,
+                        dataset: Optional[Dataset] = None) -> Table5Snapshot:
+    """The Table-5 run: CLIQUE restricted to ``target_dim``-dim clusters.
+
+    The snapshot lists up to ``max_rows`` output clusters with the input
+    cluster contributing most of their points, exhibiting the paper's
+    observation that input clusters split into many output clusters.
+
+    The paper uses tau = 0.1%; that threshold makes the bottom-up pass
+    scale-free pathological for pure Python (see
+    :func:`run_clique_quality`), so the default here is 0.3% — low
+    enough that clusters split and overlap exceeds 1, which is the
+    phenomenon Table 5 documents.
+    """
+    ds = dataset if dataset is not None else _case1_dataset(n_points, seed)
+    t0 = time.perf_counter()
+    clique = Clique(
+        xi=10, tau=tau_percent / 100.0,
+        target_dimensionality=target_dim,
+    ).fit(ds.points)
+    seconds = time.perf_counter() - t0
+    res = clique.result
+    memberships = [c.point_indices for c in res.clusters]
+    confusion = confusion_from_memberships(memberships, ds.labels)
+
+    letters = [chr(ord("A") + i) for i in range(ds.n_clusters)]
+    rows: List[Tuple[int, str, int]] = []
+    order = np.argsort([-c.n_points for c in res.clusters])
+    for idx in order[:max_rows]:
+        cluster = res.clusters[int(idx)]
+        dominant = confusion.dominant_input(cluster.cluster_id)
+        name = letters[dominant] if dominant is not None else "(outliers)"
+        rows.append((cluster.cluster_id, name, cluster.n_points))
+
+    return Table5Snapshot(
+        n_points=ds.n_points,
+        tau_percent=tau_percent,
+        target_dim=target_dim,
+        n_clusters=res.n_clusters,
+        overlap=average_overlap(memberships),
+        cluster_points_pct=100.0 * cluster_points_recovered(
+            memberships, ds.labels),
+        snapshot_rows=rows,
+        seconds=seconds,
+    )
+
+
+register_experiment(
+    "clique-quality", run_clique_quality,
+    "Section 4.2: CLIQUE tau sweep (overlap, cluster-point recovery)",
+)
+register_experiment(
+    "table5", run_table5_snapshot,
+    "Table 5: CLIQUE restricted to the cluster dimensionality splits input clusters",
+)

@@ -1,0 +1,92 @@
+"""Canonical parameter sets for the paper's experiments.
+
+Every experiment of section 4 derives from a handful of workload
+shapes; this module pins them down once:
+
+* **Case 1** (Tables 1 & 3): N = 100,000, d = 20, k = 5, all five
+  clusters in (different) 7-dimensional subspaces, 5% outliers, l = 7.
+* **Case 2** (Tables 2 & 4): same but cluster dimensionalities
+  2, 2, 3, 6, 7 (average l = 4).
+* **Scalability** (Figures 7-9): 5 clusters of dimensionality 5 in a
+  20-dimensional space, varying N / l / d.
+
+``PAPER_N`` is the paper's database size; ``SCALED_N`` the default used
+by the fast benches (identical code path, reduced scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..data.synthetic import SyntheticConfig
+
+__all__ = ["CaseConfig", "CASE1_DIMS", "CASE2_DIMS", "PAPER_N", "SCALED_N",
+           "make_case_config", "make_scalability_config"]
+
+#: Database size used throughout the paper's section 4.
+PAPER_N = 100_000
+#: Default reduced size for CI-friendly runs of the same code path.
+SCALED_N = 10_000
+
+#: Case 1: all clusters 7-dimensional (l = 7).
+CASE1_DIMS: Tuple[int, ...] = (7, 7, 7, 7, 7)
+#: Case 2: dimensionalities 2, 2, 3, 6, 7 (l = 4).
+CASE2_DIMS: Tuple[int, ...] = (7, 3, 2, 6, 2)
+
+
+@dataclass
+class CaseConfig:
+    """One accuracy experiment's workload + algorithm parameters."""
+
+    name: str
+    cluster_dim_counts: Tuple[int, ...]
+    l: int
+    n_points: int = PAPER_N
+    n_dims: int = 20
+    n_clusters: int = 5
+    outlier_fraction: float = 0.05
+    seed: int = 1999
+
+    def synthetic_config(self) -> SyntheticConfig:
+        """The generator configuration for this case."""
+        return SyntheticConfig(
+            n_points=self.n_points,
+            n_dims=self.n_dims,
+            n_clusters=self.n_clusters,
+            outlier_fraction=self.outlier_fraction,
+            cluster_dim_counts=list(self.cluster_dim_counts),
+            name=self.name,
+            seed=self.seed,
+        )
+
+
+def make_case_config(case: int, *, n_points: int = SCALED_N,
+                     seed: int = 1999) -> CaseConfig:
+    """The paper's Case 1 or Case 2 at a chosen scale."""
+    if case == 1:
+        return CaseConfig(
+            name="case1", cluster_dim_counts=CASE1_DIMS, l=7,
+            n_points=n_points, seed=seed,
+        )
+    if case == 2:
+        return CaseConfig(
+            name="case2", cluster_dim_counts=CASE2_DIMS, l=4,
+            n_points=n_points, seed=seed,
+        )
+    raise ValueError(f"case must be 1 or 2; got {case}")
+
+
+def make_scalability_config(n_points: int, n_dims: int = 20,
+                            cluster_dim: int = 5, *, n_clusters: int = 5,
+                            seed: int = 7) -> SyntheticConfig:
+    """The Figures 7-9 workload: 5 clusters of a fixed dimensionality."""
+    return SyntheticConfig(
+        n_points=n_points,
+        n_dims=n_dims,
+        n_clusters=n_clusters,
+        cluster_dim_counts=[cluster_dim] * n_clusters,
+        outlier_fraction=0.05,
+        name=f"scal-N{n_points}-d{n_dims}-l{cluster_dim}",
+        seed=seed,
+    )

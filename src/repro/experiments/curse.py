@@ -1,0 +1,135 @@
+"""The curse of dimensionality, measured (paper section 1, refs [1, 22]).
+
+The paper's opening claim: "Most clustering algorithms do not work
+efficiently in higher dimensional spaces because of the inherent
+sparsity of the data ... it is likely that for any given pair of
+points there exist at least a few dimensions on which the points are
+far apart."  This experiment quantifies both halves:
+
+* **distance concentration** — the relative contrast
+  ``(max NN-dist − min NN-dist) / min NN-dist`` of uniform data decays
+  toward 0 as ``d`` grows (Beyer et al. / ref [22]'s cost-model
+  setting), which is what defeats full-dimensional similarity search;
+* **pairwise separation** — the probability that a random pair of
+  points from the *same projected cluster* is far apart (≥ a quarter of
+  the data range) in at least one dimension rises toward 1 with ``d``,
+  which is why full-dimensional clustering tears projected clusters
+  apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.synthetic import SyntheticConfig, SyntheticDataGenerator
+from ..rng import ensure_rng
+from .registry import register_experiment
+from .tables import format_table
+
+__all__ = ["CurseReport", "run_curse_of_dimensionality"]
+
+
+@dataclass
+class CurseReport:
+    """Distance-concentration and separation measurements per d."""
+
+    dims: List[int] = field(default_factory=list)
+    relative_contrast: List[float] = field(default_factory=list)
+    far_pair_probability: List[float] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Table of both curves."""
+        rows = [
+            [d, f"{c:.3f}", f"{p:.3f}"]
+            for d, c, p in zip(self.dims, self.relative_contrast,
+                               self.far_pair_probability)
+        ]
+        return format_table(
+            ["d", "relative contrast", "P(far in some dim)"], rows,
+            title=("Curse of dimensionality: contrast of uniform data "
+                   "decays; same-cluster pairs separate"),
+        )
+
+    def contrast_decays(self) -> bool:
+        """True when the contrast at the largest d is below the smallest d's."""
+        return self.relative_contrast[-1] < self.relative_contrast[0]
+
+    def separation_grows(self) -> bool:
+        """True when the far-pair probability increases with d."""
+        return self.far_pair_probability[-1] > self.far_pair_probability[0]
+
+
+def _relative_contrast(X: np.ndarray, n_queries: int,
+                       rng: np.random.Generator) -> float:
+    """Mean over query points of (max dist − min dist) / min dist."""
+    n = X.shape[0]
+    queries = rng.choice(n, size=min(n_queries, n), replace=False)
+    contrasts = []
+    for q in queries:
+        diffs = X - X[q]
+        dist = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        dist[q] = np.inf
+        dmin = dist.min()
+        dmax = dist[np.isfinite(dist)].max()
+        if dmin > 0:
+            contrasts.append((dmax - dmin) / dmin)
+    return float(np.mean(contrasts)) if contrasts else 0.0
+
+
+def _far_pair_probability(cluster_points: np.ndarray, n_pairs: int,
+                          threshold: float,
+                          rng: np.random.Generator) -> float:
+    """P(two same-cluster points differ by >= threshold in some dim)."""
+    n = cluster_points.shape[0]
+    if n < 2:
+        return 0.0
+    far = 0
+    for _ in range(n_pairs):
+        i, j = rng.choice(n, size=2, replace=False)
+        if np.abs(cluster_points[i] - cluster_points[j]).max() >= threshold:
+            far += 1
+    return far / n_pairs
+
+
+def run_curse_of_dimensionality(*, dims: Sequence[int] = (2, 5, 10, 20, 50),
+                                n_points: int = 2000,
+                                n_queries: int = 50, n_pairs: int = 400,
+                                cluster_dim: int = 4,
+                                seed: int = 11) -> CurseReport:
+    """Measure both curse effects across space dimensionalities.
+
+    The far-pair probability uses points of one projected cluster
+    (tight in ``cluster_dim`` dimensions, uniform elsewhere) and a
+    separation threshold of a quarter of the data range — "far apart on
+    at least a few dimensions" made concrete.
+    """
+    rng = ensure_rng(seed)
+    report = CurseReport()
+    for d in dims:
+        uniform = rng.uniform(0, 100, size=(n_points, d))
+        contrast = _relative_contrast(uniform, n_queries, rng)
+
+        cfg = SyntheticConfig(
+            n_points=n_points, n_dims=d, n_clusters=1,
+            cluster_dim_counts=[min(cluster_dim, max(2, d - 1))],
+            outlier_fraction=0.0, seed=int(rng.integers(2**31 - 1)),
+        )
+        ds = SyntheticDataGenerator(cfg).generate()
+        far_prob = _far_pair_probability(
+            ds.cluster_points(0), n_pairs, threshold=25.0, rng=rng,
+        )
+
+        report.dims.append(int(d))
+        report.relative_contrast.append(contrast)
+        report.far_pair_probability.append(far_prob)
+    return report
+
+
+register_experiment(
+    "curse", run_curse_of_dimensionality,
+    "Section 1 motivation: distance concentration and same-cluster "
+    "separation as dimensionality grows",
+)

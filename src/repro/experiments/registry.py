@@ -1,0 +1,31 @@
+"""Experiment registry: stable names shared by CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..exceptions import ParameterError
+
+__all__ = ["register_experiment", "get_experiment", "list_experiments"]
+
+_REGISTRY: Dict[str, Tuple[Callable, str]] = {}
+
+
+def register_experiment(name: str, runner: Callable, description: str) -> None:
+    """Register ``runner`` under ``name`` (idempotent re-registration)."""
+    _REGISTRY[name.lower()] = (runner, description)
+
+
+def get_experiment(name: str) -> Callable:
+    """Look up a registered experiment runner."""
+    try:
+        return _REGISTRY[name.lower()][0]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        )
+
+
+def list_experiments() -> List[Tuple[str, str]]:
+    """Sorted (name, description) pairs of all registered experiments."""
+    return [(name, desc) for name, (_, desc) in sorted(_REGISTRY.items())]

@@ -1,0 +1,44 @@
+"""Tiny ASCII table / series formatting used by every report."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], *,
+                 title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, y_labels: Sequence[str],
+                  x_values: Sequence, series: Sequence[Sequence[float]], *,
+                  title: Optional[str] = None) -> str:
+    """Render aligned x/y series (a textual 'figure')."""
+    headers = [x_label, *y_labels]
+    rows = [
+        [x, *[s[i] for s in series]]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,17 @@
+"""Extensions beyond the PROCLUS paper.
+
+The paper's conclusion points at generalised projected clustering as
+future work; its direct successor is **ORCLUS** (Aggarwal & Yu, SIGMOD
+2000), which drops the axis-parallel restriction and finds clusters in
+arbitrarily *oriented* subspaces via per-cluster eigen-analysis.  This
+subpackage provides:
+
+* :mod:`repro.extensions.orclus` — a from-scratch ORCLUS;
+* :func:`repro.data.rotated.generate_rotated` (in the data package) —
+  workloads whose projected structure is rotated out of the coordinate
+  axes, where PROCLUS fails by construction and ORCLUS succeeds.
+"""
+
+from .orclus import Orclus, OrclusResult, orclus
+
+__all__ = ["Orclus", "OrclusResult", "orclus"]

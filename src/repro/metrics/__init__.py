@@ -1,0 +1,57 @@
+"""Evaluation metrics used in the paper's empirical study plus
+standard external/internal validity indices.
+
+* :mod:`~repro.metrics.confusion` — the paper's Confusion Matrix
+  (section 4.2) between output and input clusters, with outlier
+  row/column;
+* :mod:`~repro.metrics.matching` — output-to-input cluster matching
+  (Hungarian via scipy when available; greedy fallback);
+* :mod:`~repro.metrics.overlap` — the paper's *average overlap* for
+  CLIQUE's non-partitioning output;
+* :mod:`~repro.metrics.dimensions` — recovered-dimension quality
+  (exact match, precision/recall/Jaccard) for Tables 1-2;
+* :mod:`~repro.metrics.external` — ARI, NMI, purity, pairwise F1;
+* :mod:`~repro.metrics.internal` — segmental silhouette and the
+  projected objective.
+"""
+
+from .confusion import (
+    ConfusionMatrix,
+    confusion_from_memberships,
+    confusion_matrix,
+)
+from .dimensions import (
+    DimensionMatchReport,
+    dimension_jaccard,
+    dimension_precision_recall,
+    match_dimension_sets,
+)
+from .external import adjusted_rand_index, normalized_mutual_info, pairwise_f1, purity
+from .internal import projected_objective, segmental_silhouette
+from .matching import greedy_match, hungarian_match, match_clusters
+from .stability import StabilityReport, stability_report
+from .overlap import average_overlap, coverage_fraction, cluster_points_recovered
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "confusion_from_memberships",
+    "match_clusters",
+    "hungarian_match",
+    "greedy_match",
+    "average_overlap",
+    "coverage_fraction",
+    "cluster_points_recovered",
+    "dimension_precision_recall",
+    "dimension_jaccard",
+    "match_dimension_sets",
+    "DimensionMatchReport",
+    "adjusted_rand_index",
+    "normalized_mutual_info",
+    "purity",
+    "pairwise_f1",
+    "segmental_silhouette",
+    "projected_objective",
+    "stability_report",
+    "StabilityReport",
+]

@@ -1,0 +1,173 @@
+"""The paper's Confusion Matrix (section 4.2).
+
+Entry ``(i, j)`` counts the points assigned to output cluster ``i`` that
+were generated as part of input cluster ``j``; an extra row/column holds
+output/input outliers.  A clustering is good when every row has one
+dominant entry — "a clear correspondence between the input and output
+clusters" (Tables 3-4).
+
+Two constructors cover both algorithms:
+
+* :func:`confusion_matrix` from two label arrays (PROCLUS-style
+  partitions, ``-1`` = outlier);
+* :func:`confusion_from_memberships` from per-cluster point-index lists
+  (CLIQUE-style overlapping output; a point may count in several rows,
+  and points covered by no cluster fall into the output-outlier row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import OUTLIER_LABEL
+from ..exceptions import DataError
+from ..validation import check_same_length
+
+__all__ = ["ConfusionMatrix", "confusion_matrix", "confusion_from_memberships"]
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts plus the row/column cluster ids they refer to.
+
+    ``matrix`` has shape ``(n_output + 1, n_input + 1)``; the final
+    row/column are the outlier bucket (present even when empty, matching
+    the tables of the paper).
+    """
+
+    matrix: np.ndarray
+    output_ids: Tuple[int, ...]
+    input_ids: Tuple[int, ...]
+
+    @property
+    def n_output(self) -> int:
+        """Number of output clusters (outlier row excluded)."""
+        return len(self.output_ids)
+
+    @property
+    def n_input(self) -> int:
+        """Number of input clusters (outlier column excluded)."""
+        return len(self.input_ids)
+
+    def row(self, output_id: int) -> np.ndarray:
+        """The counts of one output cluster across all input clusters."""
+        return self.matrix[self.output_ids.index(output_id)]
+
+    def dominant_input(self, output_id: int) -> Optional[int]:
+        """The input cluster contributing most points to ``output_id``.
+
+        ``None`` when the row is dominated by input outliers or empty.
+        """
+        row = self.row(output_id)
+        if row[:-1].sum() == 0:
+            return None
+        j = int(np.argmax(row[:-1]))
+        return self.input_ids[j]
+
+    def dominance(self, output_id: int) -> float:
+        """Fraction of the row's points coming from its dominant input."""
+        row = self.row(output_id)
+        total = row.sum()
+        if total == 0:
+            return 0.0
+        return float(row[:-1].max() / total) if row[:-1].size else 0.0
+
+    def misplaced_fraction(self) -> float:
+        """Fraction of cluster-to-cluster mass off the dominant entries.
+
+        The paper notes "the percentage of misplaced points is very
+        small"; this quantifies it: 1 - (dominant mass) / (total
+        cluster->cluster mass).  Outlier row/column are excluded.
+        """
+        core = self.matrix[:-1, :-1]
+        total = core.sum()
+        if total == 0:
+            return 0.0
+        dominant = core.max(axis=1).sum()
+        return float(1.0 - dominant / total)
+
+    def to_table(self, *, input_names: Optional[Sequence[str]] = None,
+                 output_names: Optional[Sequence[str]] = None) -> str:
+        """Render in the paper's Tables 3-4 layout (ASCII)."""
+        in_names = list(input_names or [chr(ord("A") + i) for i in range(self.n_input)])
+        out_names = list(output_names or [str(i + 1) for i in range(self.n_output)])
+        in_names.append("Out.")
+        out_names.append("Outliers")
+        widths = [max(8, len(n) + 2) for n in in_names]
+        head = "Input".ljust(10) + "".join(n.rjust(w) for n, w in zip(in_names, widths))
+        lines = [head, "-" * len(head)]
+        for r, name in enumerate(out_names):
+            cells = "".join(
+                str(int(self.matrix[r, c])).rjust(w) for c, w in enumerate(widths)
+            )
+            lines.append(name.ljust(10) + cells)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConfusionMatrix(output={self.n_output}, input={self.n_input}, "
+            f"total={int(self.matrix.sum())})"
+        )
+
+
+def _input_ids(true_labels: np.ndarray) -> Tuple[int, ...]:
+    ids = np.unique(true_labels)
+    return tuple(int(i) for i in ids if i != OUTLIER_LABEL)
+
+
+def confusion_matrix(found_labels: np.ndarray,
+                     true_labels: np.ndarray) -> ConfusionMatrix:
+    """Confusion matrix from two label arrays (``-1`` = outlier)."""
+    found_labels = np.asarray(found_labels)
+    true_labels = np.asarray(true_labels)
+    check_same_length(found_labels, true_labels,
+                      names=("found_labels", "true_labels"))
+    out_ids = _input_ids(found_labels)
+    in_ids = _input_ids(true_labels)
+    matrix = np.zeros((len(out_ids) + 1, len(in_ids) + 1), dtype=np.int64)
+    out_pos = {cid: i for i, cid in enumerate(out_ids)}
+    in_pos = {cid: j for j, cid in enumerate(in_ids)}
+    for f, t in zip(found_labels, true_labels):
+        r = out_pos.get(int(f), len(out_ids))
+        c = in_pos.get(int(t), len(in_ids))
+        matrix[r, c] += 1
+    return ConfusionMatrix(matrix=matrix, output_ids=out_ids, input_ids=in_ids)
+
+
+def confusion_from_memberships(memberships: Sequence[np.ndarray],
+                               true_labels: np.ndarray,
+                               n_points: Optional[int] = None) -> ConfusionMatrix:
+    """Confusion matrix for overlapping output clusters (CLIQUE).
+
+    ``memberships[i]`` holds the point indices of output cluster ``i``.
+    Points in no output cluster populate the output-outlier row; a point
+    in several clusters counts in each of their rows (so column sums can
+    exceed the input sizes — exactly the overlap phenomenon the paper
+    discusses).
+    """
+    true_labels = np.asarray(true_labels)
+    n = n_points if n_points is not None else true_labels.shape[0]
+    if true_labels.shape[0] != n:
+        raise DataError(
+            f"true_labels has {true_labels.shape[0]} entries for n_points={n}"
+        )
+    in_ids = _input_ids(true_labels)
+    in_pos = {cid: j for j, cid in enumerate(in_ids)}
+    q = len(memberships)
+    matrix = np.zeros((q + 1, len(in_ids) + 1), dtype=np.int64)
+    covered = np.zeros(n, dtype=bool)
+    for r, members in enumerate(memberships):
+        members = np.asarray(members, dtype=np.intp)
+        covered[members] = True
+        for t in true_labels[members]:
+            matrix[r, in_pos.get(int(t), len(in_ids))] += 1
+    for t in true_labels[~covered]:
+        matrix[q, in_pos.get(int(t), len(in_ids))] += 1
+    return ConfusionMatrix(
+        matrix=matrix,
+        output_ids=tuple(range(q)),
+        input_ids=in_ids,
+    )

@@ -1,0 +1,113 @@
+"""Recovered-dimension quality (Tables 1-2).
+
+After matching output clusters to input clusters, each output cluster's
+dimension set ``D_out`` is compared to its input cluster's ``D_in``:
+
+* *exact match* — the headline result of Tables 1-2 ("a perfect
+  correspondence between the sets of dimensions");
+* precision / recall / Jaccard for partial credit when they differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "dimension_precision_recall",
+    "dimension_jaccard",
+    "match_dimension_sets",
+    "DimensionMatchReport",
+]
+
+DimSet = Tuple[int, ...]
+
+
+def dimension_precision_recall(found: Sequence[int],
+                               true: Sequence[int]) -> Tuple[float, float]:
+    """(precision, recall) of a recovered dimension set.
+
+    Precision: fraction of found dimensions that are true; recall:
+    fraction of true dimensions that were found.  Empty sets yield 0.
+    """
+    f, t = set(found), set(true)
+    inter = len(f & t)
+    precision = inter / len(f) if f else 0.0
+    recall = inter / len(t) if t else 0.0
+    return precision, recall
+
+
+def dimension_jaccard(found: Sequence[int], true: Sequence[int]) -> float:
+    """Jaccard similarity of two dimension sets (1 when both empty)."""
+    f, t = set(found), set(true)
+    union = f | t
+    if not union:
+        return 1.0
+    return len(f & t) / len(union)
+
+
+@dataclass
+class DimensionMatchReport:
+    """Aggregate dimension-recovery quality over matched cluster pairs."""
+
+    per_cluster: Dict[int, Dict[str, float]]
+    n_exact: int
+    n_matched: int
+
+    @property
+    def exact_match_rate(self) -> float:
+        """Fraction of matched clusters whose dimension set is exact."""
+        return self.n_exact / self.n_matched if self.n_matched else 0.0
+
+    @property
+    def mean_jaccard(self) -> float:
+        """Mean Jaccard similarity over matched clusters."""
+        if not self.per_cluster:
+            return 0.0
+        return sum(v["jaccard"] for v in self.per_cluster.values()) / len(self.per_cluster)
+
+    @property
+    def mean_precision(self) -> float:
+        """Mean dimension precision over matched clusters."""
+        if not self.per_cluster:
+            return 0.0
+        return sum(v["precision"] for v in self.per_cluster.values()) / len(self.per_cluster)
+
+    @property
+    def mean_recall(self) -> float:
+        """Mean dimension recall over matched clusters."""
+        if not self.per_cluster:
+            return 0.0
+        return sum(v["recall"] for v in self.per_cluster.values()) / len(self.per_cluster)
+
+
+def match_dimension_sets(found_dims: Mapping[int, Sequence[int]],
+                         true_dims: Mapping[int, Sequence[int]],
+                         matching: Mapping[int, int]) -> DimensionMatchReport:
+    """Compare dimension sets along an output->input cluster matching.
+
+    ``matching`` maps output cluster ids to input cluster ids (from
+    :func:`repro.metrics.matching.match_clusters`).  Output clusters
+    without a match are skipped (they correspond to no input cluster).
+    """
+    per_cluster: Dict[int, Dict[str, float]] = {}
+    n_exact = 0
+    for out_id, in_id in matching.items():
+        found = tuple(sorted(set(found_dims.get(out_id, ()))))
+        true = tuple(sorted(set(true_dims.get(in_id, ()))))
+        precision, recall = dimension_precision_recall(found, true)
+        jac = dimension_jaccard(found, true)
+        exact = found == true and len(found) > 0
+        if exact:
+            n_exact += 1
+        per_cluster[out_id] = {
+            "precision": precision,
+            "recall": recall,
+            "jaccard": jac,
+            "exact": float(exact),
+        }
+    return DimensionMatchReport(
+        per_cluster=per_cluster,
+        n_exact=n_exact,
+        n_matched=len(matching),
+    )

@@ -1,0 +1,116 @@
+"""External clustering validity indices, implemented from scratch.
+
+These supplement the paper's confusion matrices with single-number
+summaries: adjusted Rand index, normalized mutual information, purity,
+and pairwise F1.  Outlier handling is explicit: by convention points
+labelled ``-1`` in *either* labelling are excluded from the pairwise
+indices unless ``include_outliers=True`` (in which case all outliers
+are treated as one extra class).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..data.dataset import OUTLIER_LABEL
+from ..validation import check_same_length
+
+__all__ = ["adjusted_rand_index", "normalized_mutual_info", "purity",
+           "pairwise_f1"]
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense contingency table between two integer labelings."""
+    a_ids, a_inv = np.unique(a, return_inverse=True)
+    b_ids, b_inv = np.unique(b, return_inverse=True)
+    table = np.zeros((a_ids.size, b_ids.size), dtype=np.int64)
+    np.add.at(table, (a_inv, b_inv), 1)
+    return table
+
+
+def _filter(found: np.ndarray, true: np.ndarray,
+            include_outliers: bool) -> Tuple[np.ndarray, np.ndarray]:
+    found = np.asarray(found)
+    true = np.asarray(true)
+    check_same_length(found, true, names=("found", "true"))
+    if include_outliers:
+        return found, true
+    keep = (found != OUTLIER_LABEL) & (true != OUTLIER_LABEL)
+    return found[keep], true[keep]
+
+
+def adjusted_rand_index(found, true, *, include_outliers: bool = False) -> float:
+    """Adjusted Rand index in [-1, 1]; 1 = identical partitions."""
+    f, t = _filter(found, true, include_outliers)
+    if f.size == 0:
+        return 0.0
+    table = _contingency(f, t)
+    n = f.size
+
+    def comb2(x):
+        x = np.asarray(x, dtype=np.float64)
+        return x * (x - 1) / 2.0
+
+    sum_ij = comb2(table).sum()
+    sum_a = comb2(table.sum(axis=1)).sum()
+    sum_b = comb2(table.sum(axis=0)).sum()
+    total = comb2(n)
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    denom = max_index - expected
+    if denom == 0:
+        return 1.0 if sum_ij == max_index else 0.0
+    return float((sum_ij - expected) / denom)
+
+
+def normalized_mutual_info(found, true, *, include_outliers: bool = False) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1]."""
+    f, t = _filter(found, true, include_outliers)
+    if f.size == 0:
+        return 0.0
+    table = _contingency(f, t).astype(np.float64)
+    n = table.sum()
+    pij = table / n
+    pi = pij.sum(axis=1, keepdims=True)
+    pj = pij.sum(axis=0, keepdims=True)
+    nz = pij > 0
+    mi = float((pij[nz] * np.log(pij[nz] / (pi @ pj)[nz])).sum())
+    hi = float(-(pi[pi > 0] * np.log(pi[pi > 0])).sum())
+    hj = float(-(pj[pj > 0] * np.log(pj[pj > 0])).sum())
+    denom = (hi + hj) / 2.0
+    if denom == 0:
+        return 1.0
+    return mi / denom
+
+
+def purity(found, true, *, include_outliers: bool = False) -> float:
+    """Weighted fraction of each output cluster's dominant true class."""
+    f, t = _filter(found, true, include_outliers)
+    if f.size == 0:
+        return 0.0
+    table = _contingency(f, t)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def pairwise_f1(found, true, *, include_outliers: bool = False) -> float:
+    """F1 over point pairs: pairs together in both labelings are TP."""
+    f, t = _filter(found, true, include_outliers)
+    if f.size == 0:
+        return 0.0
+    table = _contingency(f, t).astype(np.float64)
+
+    def comb2(x):
+        return (x * (x - 1) / 2.0)
+
+    tp = comb2(table).sum()
+    found_pairs = comb2(table.sum(axis=1)).sum()
+    true_pairs = comb2(table.sum(axis=0)).sum()
+    if found_pairs == 0 or true_pairs == 0:
+        return 0.0
+    precision = tp / found_pairs
+    recall = tp / true_pairs
+    if precision + recall == 0:
+        return 0.0
+    return float(2 * precision * recall / (precision + recall))

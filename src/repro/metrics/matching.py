@@ -1,0 +1,78 @@
+"""Output-to-input cluster matching.
+
+The accuracy tables compare each output cluster against "its" input
+cluster.  The assignment maximising matched mass is computed with the
+Hungarian algorithm when scipy is available and with a greedy
+largest-entry-first matcher otherwise (the two agree on the paper's
+workloads, where the confusion matrices are near-diagonal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .confusion import ConfusionMatrix
+
+__all__ = ["greedy_match", "hungarian_match", "match_clusters"]
+
+try:  # scipy is an optional test dependency; degrade gracefully
+    from scipy.optimize import linear_sum_assignment as _lsa
+except ImportError:  # pragma: no cover - environment-dependent
+    _lsa = None
+
+
+def greedy_match(matrix: np.ndarray) -> Dict[int, int]:
+    """Greedy matching: repeatedly take the largest remaining entry.
+
+    Returns a partial mapping row -> column; rows whose remaining
+    entries are all zero stay unmatched.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64).copy()
+    mapping: Dict[int, int] = {}
+    n_rounds = min(matrix.shape)
+    for _ in range(n_rounds):
+        r, c = np.unravel_index(int(np.argmax(matrix)), matrix.shape)
+        if matrix[r, c] <= 0:
+            break
+        mapping[int(r)] = int(c)
+        matrix[r, :] = -1.0
+        matrix[:, c] = -1.0
+    return mapping
+
+
+def hungarian_match(matrix: np.ndarray) -> Dict[int, int]:
+    """Optimal matching (max total mass) via the Hungarian algorithm.
+
+    Falls back to :func:`greedy_match` when scipy is unavailable.
+    Zero-mass pairs are never matched.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if _lsa is None:  # pragma: no cover - environment-dependent
+        return greedy_match(matrix)
+    rows, cols = _lsa(-matrix)
+    return {
+        int(r): int(c) for r, c in zip(rows, cols) if matrix[r, c] > 0
+    }
+
+
+def match_clusters(confusion: ConfusionMatrix, *,
+                   method: str = "hungarian") -> Dict[int, int]:
+    """Match output cluster *ids* to input cluster *ids*.
+
+    Only the cluster-to-cluster block is matched; the outlier
+    row/column never participate.  Output clusters made purely of input
+    outliers stay unmatched.
+    """
+    core = confusion.matrix[:-1, :-1]
+    if method == "hungarian":
+        raw = hungarian_match(core)
+    elif method == "greedy":
+        raw = greedy_match(core)
+    else:
+        raise ValueError(f"method must be 'hungarian' or 'greedy'; got {method!r}")
+    return {
+        confusion.output_ids[r]: confusion.input_ids[c]
+        for r, c in raw.items()
+    }

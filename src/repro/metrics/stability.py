@@ -1,0 +1,119 @@
+"""Stability analysis for randomised clusterings.
+
+PROCLUS is a randomised local search; practitioners need to know how
+much its output moves between runs.  :func:`stability_report` runs a
+clustering function over several seeds and summarises
+
+* pairwise label agreement (mean adjusted Rand index across run pairs),
+* dimension-set agreement (mean Jaccard of matched clusters' dimension
+  sets across run pairs),
+* objective spread.
+
+A high label ARI with low dimension Jaccard indicates the partition is
+stable but the reported subspaces are not — worth knowing before
+interpreting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..rng import SeedLike, ensure_rng, spawn
+from .confusion import confusion_matrix
+from .dimensions import dimension_jaccard
+from .external import adjusted_rand_index
+from .matching import match_clusters
+
+__all__ = ["StabilityReport", "stability_report"]
+
+
+@dataclass
+class StabilityReport:
+    """Cross-seed agreement statistics for a randomised clustering."""
+
+    n_runs: int
+    pairwise_ari: List[float] = field(default_factory=list)
+    pairwise_dimension_jaccard: List[float] = field(default_factory=list)
+    objectives: List[float] = field(default_factory=list)
+
+    @property
+    def mean_ari(self) -> float:
+        """Mean pairwise label agreement."""
+        return float(np.mean(self.pairwise_ari)) if self.pairwise_ari else 1.0
+
+    @property
+    def mean_dimension_jaccard(self) -> float:
+        """Mean pairwise dimension-set agreement."""
+        if not self.pairwise_dimension_jaccard:
+            return 1.0
+        return float(np.mean(self.pairwise_dimension_jaccard))
+
+    @property
+    def objective_spread(self) -> float:
+        """(max - min) / min of the objective across runs; 0 = stable."""
+        if not self.objectives:
+            return 0.0
+        lo, hi = min(self.objectives), max(self.objectives)
+        return (hi - lo) / lo if lo > 0 else 0.0
+
+    def to_text(self) -> str:
+        """Three-line summary."""
+        return (
+            f"stability over {self.n_runs} runs:\n"
+            f"  label agreement (mean pairwise ARI)   = {self.mean_ari:.3f}\n"
+            f"  dimension agreement (mean Jaccard)    = "
+            f"{self.mean_dimension_jaccard:.3f}\n"
+            f"  objective spread ((max-min)/min)      = "
+            f"{self.objective_spread:.3f}"
+        )
+
+
+def stability_report(fit: Callable, X: np.ndarray, *, n_runs: int = 5,
+                     seed: SeedLike = None) -> StabilityReport:
+    """Run ``fit(X, seed=...)`` over independent seeds and compare runs.
+
+    ``fit`` must return an object with ``labels`` (array) and optionally
+    ``dimensions`` (mapping) and ``objective`` (float) — a
+    :class:`~repro.core.result.ProclusResult` qualifies directly::
+
+        report = stability_report(
+            lambda X, seed: proclus(X, 5, 7, seed=seed), X, n_runs=5,
+        )
+    """
+    if n_runs < 2:
+        raise ParameterError(f"n_runs must be >= 2; got {n_runs}")
+    rng = ensure_rng(seed)
+    results = [fit(X, seed=child) for child in spawn(rng, n_runs)]
+
+    report = StabilityReport(n_runs=n_runs)
+    for r in results:
+        objective = getattr(r, "objective", None)
+        if objective is not None:
+            report.objectives.append(float(objective))
+
+    for i in range(n_runs):
+        for j in range(i + 1, n_runs):
+            a, b = results[i], results[j]
+            report.pairwise_ari.append(
+                adjusted_rand_index(a.labels, b.labels)
+            )
+            dims_a = getattr(a, "dimensions", None)
+            dims_b = getattr(b, "dimensions", None)
+            if dims_a and dims_b:
+                cm = confusion_matrix(a.labels, b.labels)
+                matching = match_clusters(cm)
+                if matching:
+                    jaccards = [
+                        dimension_jaccard(dims_a[x], dims_b[y])
+                        for x, y in matching.items()
+                        if x in dims_a and y in dims_b
+                    ]
+                    if jaccards:
+                        report.pairwise_dimension_jaccard.append(
+                            float(np.mean(jaccards))
+                        )
+    return report

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, generate
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_projected_dataset() -> Dataset:
+    """A small, easy dataset: 3 well-separated projected clusters.
+
+    600 points in 10 dimensions; clusters of dimensionality 3, 3, 4;
+    5% outliers.  Deterministic (seed pinned).
+    """
+    return generate(
+        600, 10, 3,
+        cluster_dim_counts=[3, 3, 4],
+        outlier_fraction=0.05,
+        seed=202,
+    )
+
+
+@pytest.fixture
+def two_cluster_points() -> np.ndarray:
+    """Two hand-built projected clusters in 4-D, 40 points each.
+
+    Cluster 0 is tight on dims (0, 1) and uniform on (2, 3);
+    cluster 1 is tight on dims (2, 3) and uniform on (0, 1).
+    """
+    rng = np.random.default_rng(7)
+    a = np.empty((40, 4))
+    a[:, 0] = rng.normal(20.0, 0.5, 40)
+    a[:, 1] = rng.normal(80.0, 0.5, 40)
+    a[:, 2] = rng.uniform(0, 100, 40)
+    a[:, 3] = rng.uniform(0, 100, 40)
+    b = np.empty((40, 4))
+    b[:, 0] = rng.uniform(0, 100, 40)
+    b[:, 1] = rng.uniform(0, 100, 40)
+    b[:, 2] = rng.normal(50.0, 0.5, 40)
+    b[:, 3] = rng.normal(10.0, 0.5, 40)
+    return np.vstack([a, b])

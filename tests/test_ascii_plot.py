@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        text = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0],
+                                       "b": [3.0, 2.0, 1.0]})
+        assert "* a" in text
+        assert "o b" in text
+        canvas = [l for l in text.splitlines() if "|" in l]
+        assert any("*" in l for l in canvas)
+        assert any("o" in l for l in canvas)
+
+    def test_dimensions(self):
+        text = ascii_chart([0, 1], {"s": [1.0, 2.0]}, width=30, height=8)
+        canvas_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(canvas_lines) == 8
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in canvas_lines)
+
+    def test_log_scale(self):
+        text = ascii_chart([1, 2, 3], {"s": [1.0, 100.0, 10000.0]},
+                           log_y=True)
+        assert "log scale" in text
+        assert "1.0e+04" in text
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ParameterError, match="strictly positive"):
+            ascii_chart([1, 2], {"s": [0.0, 1.0]}, log_y=True)
+
+    def test_constant_series_ok(self):
+        text = ascii_chart([1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ParameterError):
+            ascii_chart([1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="x positions"):
+            ascii_chart([1, 2], {"s": [1.0]})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ParameterError, match="at most"):
+            ascii_chart([1], series)
+
+    def test_title_first_line(self):
+        text = ascii_chart([1, 2], {"s": [1.0, 2.0]}, title="Figure")
+        assert text.splitlines()[0] == "Figure"
+
+    def test_x_axis_labels(self):
+        text = ascii_chart([10, 500], {"s": [1.0, 2.0]}, x_label="N")
+        last_lines = text.splitlines()[-2]
+        assert "10" in last_lines and "500" in last_lines and "N" in last_lines

@@ -1,0 +1,143 @@
+"""Unit tests for dense-unit discovery (the apriori bottom-up pass)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clique import Grid, Unit, find_dense_units
+from repro.baselines.clique.apriori import (
+    count_units,
+    density_threshold,
+    generate_candidates,
+    units_by_subspace,
+)
+from repro.exceptions import ParameterError
+
+
+class TestDensityThreshold:
+    def test_ceil(self):
+        assert density_threshold(1000, 0.005) == 5
+        assert density_threshold(999, 0.005) == 5
+
+    def test_at_least_one(self):
+        assert density_threshold(10, 0.001) == 1
+
+    def test_invalid_tau(self):
+        with pytest.raises(ParameterError):
+            density_threshold(100, 0.0)
+        with pytest.raises(ParameterError):
+            density_threshold(100, 1.0)
+
+
+class TestGenerateCandidates:
+    def test_join_on_shared_prefix(self):
+        dense = [
+            Unit(dims=(0,), intervals=(1,)),
+            Unit(dims=(1,), intervals=(2,)),
+        ]
+        cands = generate_candidates(dense)
+        assert cands == [Unit(dims=(0, 1), intervals=(1, 2))]
+
+    def test_same_dim_not_joined(self):
+        dense = [
+            Unit(dims=(0,), intervals=(1,)),
+            Unit(dims=(0,), intervals=(2,)),
+        ]
+        assert generate_candidates(dense) == []
+
+    def test_prune_candidate_with_nondense_face(self):
+        # 3-dim candidate requires all three 2-dim faces dense
+        dense = [
+            Unit(dims=(0, 1), intervals=(1, 1)),
+            Unit(dims=(0, 2), intervals=(1, 1)),
+            # face (1, 2) missing
+        ]
+        assert generate_candidates(dense) == []
+
+    def test_accepts_when_all_faces_dense(self):
+        dense = [
+            Unit(dims=(0, 1), intervals=(1, 1)),
+            Unit(dims=(0, 2), intervals=(1, 1)),
+            Unit(dims=(1, 2), intervals=(1, 1)),
+        ]
+        cands = generate_candidates(dense)
+        assert cands == [Unit(dims=(0, 1, 2), intervals=(1, 1, 1))]
+
+    def test_empty_input(self):
+        assert generate_candidates([]) == []
+
+
+class TestCountUnits:
+    def test_counts_match_manual(self):
+        cells = np.array([[0, 0], [0, 0], [0, 1], [1, 1]])
+        units = [
+            Unit(dims=(0, 1), intervals=(0, 0)),
+            Unit(dims=(0, 1), intervals=(0, 1)),
+            Unit(dims=(0, 1), intervals=(1, 0)),
+        ]
+        counts = count_units(cells, units, xi=10)
+        assert counts[units[0]] == 2
+        assert counts[units[1]] == 1
+        assert counts[units[2]] == 0
+
+    def test_grouped_by_subspace(self):
+        units = [Unit(dims=(0,), intervals=(0,)), Unit(dims=(1,), intervals=(0,))]
+        grouped = units_by_subspace(units)
+        assert set(grouped) == {(0,), (1,)}
+
+
+class TestFindDenseUnits:
+    def test_single_dense_block(self):
+        """All points in one cell: the full chain of units is discovered."""
+        X = np.tile([5.0, 15.0, 25.0], (50, 1))
+        cells = Grid(xi=10, bounds=(np.zeros(3), np.full(3, 100.0))).cell_indices(X)
+        dense = find_dense_units(cells, xi=10, tau=0.5)
+        # every subspace of the occupied cell is dense: 3 + 3 + 1 units
+        assert len(dense) == 7
+        assert all(c == 50 for c in dense.values())
+
+    def test_monotonicity_invariant(self):
+        """Every face of a dense unit is itself dense (apriori property)."""
+        rng = np.random.default_rng(0)
+        X = np.vstack([
+            rng.normal([20, 20, 50, 50], 2.0, size=(150, 4)),
+            rng.uniform(0, 100, size=(100, 4)),
+        ])
+        cells = Grid(xi=10).fit_transform(X)
+        dense = find_dense_units(cells, xi=10, tau=0.05)
+        for u in dense:
+            for face in u.faces():
+                assert face in dense
+
+    def test_counts_at_least_threshold(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 100, size=(500, 3))
+        cells = Grid(xi=5).fit_transform(X)
+        dense = find_dense_units(cells, xi=5, tau=0.02)
+        threshold = density_threshold(500, 0.02)
+        assert all(c >= threshold for c in dense.values())
+
+    def test_max_dimensionality_cap(self):
+        X = np.tile([5.0, 15.0, 25.0], (50, 1))
+        cells = Grid(xi=10, bounds=(np.zeros(3), np.full(3, 100.0))).cell_indices(X)
+        dense = find_dense_units(cells, xi=10, tau=0.5, max_dimensionality=2)
+        assert max(u.dimensionality for u in dense) == 2
+
+    def test_high_threshold_nothing_dense(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 100, size=(200, 2))
+        cells = Grid(xi=10).fit_transform(X)
+        dense = find_dense_units(cells, xi=10, tau=0.9)
+        assert dense == {}
+
+    def test_level_hook_filters_next_level(self):
+        X = np.tile([5.0, 15.0, 25.0], (50, 1))
+        cells = Grid(xi=10, bounds=(np.zeros(3), np.full(3, 100.0))).cell_indices(X)
+
+        def hook(level, units, counts):
+            # keep only subspaces containing dimension 0
+            return [u for u in units if 0 in u.dims]
+
+        dense = find_dense_units(cells, xi=10, tau=0.5, level_hook=hook)
+        for u in dense:
+            if u.dimensionality >= 2:
+                assert 0 in u.dims

@@ -1,0 +1,117 @@
+"""Unit tests for connectivity (clusters) and the greedy rectangle cover."""
+
+import pytest
+
+from repro.baselines.clique import Rectangle, Unit, connected_components, greedy_cover
+from repro.exceptions import ParameterError
+
+
+def u(dims, intervals):
+    return Unit(dims=tuple(dims), intervals=tuple(intervals))
+
+
+class TestConnectedComponents:
+    def test_chain_is_one_component(self):
+        units = [u([0], [1]), u([0], [2]), u([0], [3])]
+        comps = connected_components(units, xi=10)
+        assert len(comps) == 1
+        assert len(comps[0]) == 3
+
+    def test_gap_splits_components(self):
+        units = [u([0], [1]), u([0], [3])]
+        comps = connected_components(units, xi=10)
+        assert len(comps) == 2
+
+    def test_subspaces_never_merge(self):
+        units = [u([0], [1]), u([1], [1])]
+        comps = connected_components(units, xi=10)
+        assert len(comps) == 2
+
+    def test_l_shape_connected(self):
+        units = [u([0, 1], [0, 0]), u([0, 1], [1, 0]), u([0, 1], [1, 1])]
+        comps = connected_components(units, xi=10)
+        assert len(comps) == 1
+
+    def test_diagonal_not_connected(self):
+        units = [u([0, 1], [0, 0]), u([0, 1], [1, 1])]
+        comps = connected_components(units, xi=10)
+        assert len(comps) == 2
+
+    def test_deterministic_order(self):
+        units = [u([1], [5]), u([0], [2]), u([0], [3])]
+        a = connected_components(units, xi=10)
+        b = connected_components(list(reversed(units)), xi=10)
+        assert [set(c) for c in a] == [set(c) for c in b]
+
+
+class TestRectangle:
+    def test_n_units(self):
+        r = Rectangle(dims=(0, 1), ranges=((0, 2), (5, 5)))
+        assert r.n_units == 3
+
+    def test_contains(self):
+        r = Rectangle(dims=(0, 1), ranges=((0, 2), (5, 6)))
+        assert r.contains(u([0, 1], [1, 5]))
+        assert not r.contains(u([0, 1], [3, 5]))
+        assert not r.contains(u([0], [1]))
+
+    def test_units_enumeration(self):
+        r = Rectangle(dims=(0,), ranges=((2, 4),))
+        assert set(r.units()) == {u([0], [2]), u([0], [3]), u([0], [4])}
+
+    def test_invalid_range(self):
+        with pytest.raises(ParameterError):
+            Rectangle(dims=(0,), ranges=((3, 1),))
+
+
+class TestGreedyCover:
+    def test_full_rectangle_single_cover(self):
+        units = [u([0, 1], [i, j]) for i in range(2) for j in range(3)]
+        rects = greedy_cover(units)
+        assert len(rects) == 1
+        assert rects[0].n_units == 6
+
+    def test_l_shape_two_rectangles(self):
+        units = [u([0, 1], [0, 0]), u([0, 1], [1, 0]), u([0, 1], [1, 1])]
+        rects = greedy_cover(units)
+        assert len(rects) == 2
+        covered = set()
+        for r in rects:
+            covered |= set(r.units())
+        assert covered == set(units)
+
+    def test_cover_is_exact_on_component(self):
+        """Cover includes every unit and nothing outside the component."""
+        units = [u([0], [2]), u([0], [3]), u([0], [4])]
+        rects = greedy_cover(units)
+        covered = set()
+        for r in rects:
+            covered |= set(r.units())
+        assert covered == set(units)
+
+    def test_empty(self):
+        assert greedy_cover([]) == []
+
+    def test_mixed_subspaces_rejected(self):
+        with pytest.raises(ParameterError, match="one subspace"):
+            greedy_cover([u([0], [1]), u([1], [1])])
+
+    def test_redundant_rectangle_removed(self):
+        # a plus-shape: greedy growth may create overlapping rectangles;
+        # the removal step must keep a cover without fully-redundant rects
+        units = [
+            u([0, 1], [1, 0]), u([0, 1], [1, 1]), u([0, 1], [1, 2]),
+            u([0, 1], [0, 1]), u([0, 1], [2, 1]),
+        ]
+        rects = greedy_cover(units)
+        covered = set()
+        for r in rects:
+            covered |= set(r.units())
+        assert covered == set(units)
+        # no rectangle may be fully covered by the union of the others
+        for i, r in enumerate(rects):
+            others = set()
+            for j, o in enumerate(rects):
+                if j != i:
+                    others |= set(o.units())
+            assert not set(r.units()) <= others

@@ -1,0 +1,135 @@
+"""Integration-level tests for the CLIQUE driver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Clique
+from repro.data import generate
+from repro.exceptions import NotFittedError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def small_projected():
+    """Two clusters in different 2-dim subspaces of a 6-dim space."""
+    return generate(
+        1200, 6, 2, cluster_dims=[[0, 1], [3, 4]],
+        outlier_fraction=0.05, seed=23,
+    )
+
+
+class TestDriver:
+    def test_finds_planted_subspaces(self, small_projected):
+        c = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        subspaces_2d = {
+            cl.dims for cl in c.result.clusters_of_dimensionality(2)
+        }
+        assert (0, 1) in subspaces_2d
+        assert (3, 4) in subspaces_2d
+
+    def test_clusters_capture_cluster_points(self, small_projected):
+        ds = small_projected
+        c = Clique(xi=10, tau=0.02).fit(ds.points)
+        best = {}
+        for cl in c.result.clusters_of_dimensionality(2):
+            if cl.dims in ((0, 1), (3, 4)):
+                best[cl.dims] = max(
+                    best.get(cl.dims, 0), cl.n_points
+                )
+        # each planted cluster's densest region holds a solid share of it
+        sizes = ds.cluster_sizes()
+        assert best[(0, 1)] > 0.4 * sizes[0]
+        assert best[(3, 4)] > 0.4 * sizes[1]
+
+    def test_target_dimensionality_filters(self, small_projected):
+        c = Clique(xi=10, tau=0.02,
+                   target_dimensionality=2).fit(small_projected.points)
+        assert all(cl.dimensionality == 2 for cl in c.result.clusters)
+
+    def test_max_dimensionality_caps_pass(self, small_projected):
+        c = Clique(xi=10, tau=0.02,
+                   max_dimensionality=1).fit(small_projected.points)
+        assert c.result.max_dimensionality == 1
+
+    def test_point_membership_consistent(self, small_projected):
+        ds = small_projected
+        c = Clique(xi=10, tau=0.02).fit(ds.points)
+        cl = max(c.result.clusters_of_dimensionality(2),
+                 key=lambda x: x.n_points)
+        # every member's cell must be one of the cluster's units
+        cells = c.grid_.cell_indices(ds.points)
+        unit_set = {u.intervals for u in cl.units}
+        for idx in cl.point_indices[:100]:
+            cell = tuple(int(cells[idx, d]) for d in cl.dims)
+            assert cell in unit_set
+
+    def test_overlap_at_least_one(self, small_projected):
+        c = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        assert c.result.average_overlap >= 1.0
+
+    def test_projections_reported_too(self, small_projected):
+        """CLIQUE's hallmark: 1-dim projections of dense regions appear."""
+        c = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        assert len(c.result.clusters_of_dimensionality(1)) > 0
+
+    def test_mdl_pruning_reduces_units(self, small_projected):
+        full = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        pruned = Clique(xi=10, tau=0.02,
+                        prune_subspaces=True).fit(small_projected.points)
+        assert pruned.result.n_dense_units <= full.result.n_dense_units
+
+    def test_cover_computed_on_demand(self, small_projected):
+        c = Clique(xi=10, tau=0.02, compute_cover=True,
+                   max_dimensionality=2).fit(small_projected.points)
+        top = c.result.clusters_of_dimensionality(2)
+        assert any(cl.rectangles for cl in top)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = Clique().result
+
+    def test_invalid_tau(self):
+        with pytest.raises(ParameterError):
+            Clique(tau=0.0)
+
+    def test_target_above_max_rejected(self):
+        with pytest.raises(ParameterError):
+            Clique(max_dimensionality=2, target_dimensionality=3)
+
+    def test_membership_counts(self, small_projected):
+        c = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        counts = c.result.membership_counts()
+        assert counts.shape == (1200,)
+        assert counts.max() >= 1
+
+    def test_summary_renders(self, small_projected):
+        c = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        text = c.result.summary()
+        assert "CLIQUE result" in text
+        assert "coverage" in text
+
+
+class TestClustersContaining:
+    def test_member_point_found(self, small_projected):
+        c = Clique(xi=10, tau=0.02).fit(small_projected.points)
+        top = max(c.result.clusters_of_dimensionality(2),
+                  key=lambda cl: cl.n_points)
+        idx = int(top.point_indices[0])
+        hits = c.clusters_containing(small_projected.points[idx])
+        assert top.cluster_id in hits
+
+    def test_far_point_in_no_cluster(self, small_projected):
+        import numpy as np
+        c = Clique(xi=10, tau=0.02, max_dimensionality=2).fit(
+            small_projected.points)
+        # a corner far from both planted clusters usually hits at most
+        # low-dimensional background units; with a high threshold, none
+        c_high = Clique(xi=10, tau=0.2, max_dimensionality=2).fit(
+            small_projected.points)
+        hits = c_high.clusters_containing(
+            np.full(small_projected.n_dims, 99.9))
+        assert hits == [] or all(isinstance(h, int) for h in hits)
+
+    def test_unfitted_raises(self):
+        import numpy as np
+        with pytest.raises(NotFittedError):
+            Clique().clusters_containing(np.zeros(3))

@@ -1,0 +1,77 @@
+"""Unit tests for the CLIQUE grid."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clique import Grid
+from repro.exceptions import ParameterError
+
+
+class TestGridFit:
+    def test_bounds_from_data(self):
+        X = np.array([[0.0, 10.0], [100.0, 20.0]])
+        g = Grid(xi=10).fit(X)
+        assert g.n_dims == 2
+        assert np.allclose(g.interval_widths, [10.0, 1.0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ParameterError, match="not fitted"):
+            Grid(10).cell_indices(np.zeros((2, 2)))
+
+    def test_explicit_bounds(self):
+        g = Grid(xi=4, bounds=(np.array([0.0]), np.array([8.0])))
+        cells = g.cell_indices(np.array([[0.0], [1.9], [2.0], [7.9]]))
+        assert cells.ravel().tolist() == [0, 0, 1, 3]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ParameterError, match="highs >= lows"):
+            Grid(4, bounds=(np.array([2.0]), np.array([1.0])))
+
+
+class TestCellIndices:
+    def test_within_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-5, 5, size=(200, 3))
+        cells = Grid(xi=7).fit_transform(X)
+        assert cells.min() >= 0
+        assert cells.max() <= 6
+
+    def test_upper_boundary_in_last_interval(self):
+        X = np.array([[0.0], [10.0]])
+        cells = Grid(xi=10).fit_transform(X)
+        assert cells.ravel().tolist() == [0, 9]
+
+    def test_constant_dimension_all_zero(self):
+        X = np.column_stack([np.full(5, 3.0), np.arange(5.0)])
+        cells = Grid(xi=10).fit_transform(X)
+        assert (cells[:, 0] == 0).all()
+
+    def test_out_of_box_points_clamped(self):
+        g = Grid(xi=10, bounds=(np.array([0.0]), np.array([10.0])))
+        cells = g.cell_indices(np.array([[-5.0], [15.0]]))
+        assert cells.ravel().tolist() == [0, 9]
+
+    def test_dim_mismatch_rejected(self):
+        g = Grid(xi=10).fit(np.zeros((3, 2)))
+        with pytest.raises(ParameterError, match="fitted on"):
+            g.cell_indices(np.zeros((3, 3)))
+
+    def test_uniform_histogram_roughly_flat(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 100, size=(10_000, 1))
+        cells = Grid(xi=10).fit_transform(X)
+        counts = np.bincount(cells[:, 0], minlength=10)
+        assert counts.min() > 800
+        assert counts.max() < 1200
+
+
+class TestIntervalBounds:
+    def test_known_interval(self):
+        g = Grid(xi=5, bounds=(np.array([0.0]), np.array([100.0])))
+        low, high = g.interval_bounds(0, 2)
+        assert (low, high) == (40.0, 60.0)
+
+    def test_invalid_interval(self):
+        g = Grid(xi=5, bounds=(np.array([0.0]), np.array([100.0])))
+        with pytest.raises(ParameterError):
+            g.interval_bounds(0, 5)

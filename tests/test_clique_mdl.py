@@ -1,0 +1,63 @@
+"""Unit tests for MDL subspace pruning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clique.mdl import (
+    mdl_code_length,
+    mdl_optimal_cut,
+    mdl_prune_subspaces,
+)
+from repro.exceptions import ParameterError
+
+
+class TestCodeLength:
+    def test_cut_bounds_validated(self):
+        with pytest.raises(ParameterError):
+            mdl_code_length(np.array([10.0, 5.0]), 0)
+        with pytest.raises(ParameterError):
+            mdl_code_length(np.array([10.0, 5.0]), 3)
+
+    def test_finite_for_valid_cuts(self):
+        values = np.array([100.0, 90.0, 5.0, 4.0])
+        for cut in range(1, 5):
+            assert np.isfinite(mdl_code_length(values, cut))
+
+
+class TestOptimalCut:
+    def test_clear_gap_found(self):
+        # two high-coverage subspaces, three tiny ones
+        coverages = [1000.0, 950.0, 10.0, 8.0, 5.0]
+        assert mdl_optimal_cut(coverages) == 2
+
+    def test_uniform_coverages_keep_all(self):
+        coverages = [500.0] * 6
+        assert mdl_optimal_cut(coverages) == 6
+
+    def test_single_subspace(self):
+        assert mdl_optimal_cut([42.0]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            mdl_optimal_cut([])
+
+
+class TestPruneSubspaces:
+    def test_keeps_high_coverage(self):
+        coverages = {
+            (0, 1): 1000,
+            (2, 3): 980,
+            (4, 5): 7,
+            (6, 7): 6,
+        }
+        kept = mdl_prune_subspaces(coverages)
+        assert set(kept) == {(0, 1), (2, 3)}
+
+    def test_empty_input(self):
+        assert mdl_prune_subspaces({}) == []
+
+    def test_deterministic_tie_break(self):
+        coverages = {(1,): 10, (0,): 10, (2,): 10}
+        a = mdl_prune_subspaces(dict(coverages))
+        b = mdl_prune_subspaces(dict(reversed(list(coverages.items()))))
+        assert a == b

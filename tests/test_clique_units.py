@@ -1,0 +1,103 @@
+"""Unit tests for CLIQUE units (subspace grid cells)."""
+
+import pytest
+
+from repro.baselines.clique import Unit
+from repro.exceptions import ParameterError
+
+
+class TestConstruction:
+    def test_basic(self):
+        u = Unit(dims=(0, 3), intervals=(2, 7))
+        assert u.dimensionality == 2
+        assert u.subspace == (0, 3)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ParameterError, match="align"):
+            Unit(dims=(0, 1), intervals=(2,))
+
+    def test_unsorted_dims_rejected(self):
+        with pytest.raises(ParameterError, match="strictly increasing"):
+            Unit(dims=(3, 0), intervals=(1, 2))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ParameterError, match="strictly increasing"):
+            Unit(dims=(1, 1), intervals=(0, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            Unit(dims=(), intervals=())
+
+    def test_hashable_value_object(self):
+        a = Unit(dims=(0, 2), intervals=(1, 5))
+        b = Unit(dims=(0, 2), intervals=(1, 5))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestFaces:
+    def test_two_dim_unit_has_two_faces(self):
+        u = Unit(dims=(0, 2), intervals=(1, 5))
+        faces = set(u.faces())
+        assert faces == {
+            Unit(dims=(2,), intervals=(5,)),
+            Unit(dims=(0,), intervals=(1,)),
+        }
+
+    def test_one_dim_unit_has_no_faces(self):
+        assert list(Unit(dims=(0,), intervals=(3,)).faces()) == []
+
+    def test_face_count_equals_dimensionality(self):
+        u = Unit(dims=(0, 1, 2, 5), intervals=(1, 2, 3, 4))
+        assert len(list(u.faces())) == 4
+
+
+class TestAdjacency:
+    def test_adjacent_one_step(self):
+        a = Unit(dims=(0, 1), intervals=(3, 3))
+        b = Unit(dims=(0, 1), intervals=(3, 4))
+        assert a.is_adjacent(b)
+        assert b.is_adjacent(a)
+
+    def test_not_adjacent_diagonal(self):
+        a = Unit(dims=(0, 1), intervals=(3, 3))
+        b = Unit(dims=(0, 1), intervals=(4, 4))
+        assert not a.is_adjacent(b)
+
+    def test_not_adjacent_two_steps(self):
+        a = Unit(dims=(0,), intervals=(3,))
+        b = Unit(dims=(0,), intervals=(5,))
+        assert not a.is_adjacent(b)
+
+    def test_different_subspaces_never_adjacent(self):
+        a = Unit(dims=(0,), intervals=(3,))
+        b = Unit(dims=(1,), intervals=(3,))
+        assert not a.is_adjacent(b)
+
+    def test_self_not_adjacent(self):
+        a = Unit(dims=(0,), intervals=(3,))
+        assert not a.is_adjacent(a)
+
+
+class TestNeighbours:
+    def test_interior_unit(self):
+        u = Unit(dims=(0, 1), intervals=(5, 5))
+        nbs = set(u.neighbours(xi=10))
+        assert len(nbs) == 4
+        assert all(u.is_adjacent(n) for n in nbs)
+
+    def test_corner_unit_clipped(self):
+        u = Unit(dims=(0, 1), intervals=(0, 0))
+        nbs = list(u.neighbours(xi=10))
+        assert len(nbs) == 2
+
+    def test_xi_one_has_no_neighbours(self):
+        u = Unit(dims=(0,), intervals=(0,))
+        assert list(u.neighbours(xi=1)) == []
+
+    def test_interval_on(self):
+        u = Unit(dims=(1, 4), intervals=(2, 9))
+        assert u.interval_on(4) == 9
+        with pytest.raises(ParameterError, match="not constrained"):
+            u.interval_on(0)

@@ -1,0 +1,64 @@
+"""Unit tests for the EvaluateClusters objective."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_clusters
+from repro.core.objective import cluster_dispersions
+from repro.exceptions import ParameterError
+
+
+class TestClusterDispersions:
+    def test_single_tight_cluster(self):
+        X = np.array([[0.0, 0.0], [2.0, 0.0]])
+        labels = np.array([0, 0])
+        w = cluster_dispersions(X, labels, [(0, 1)])
+        # centroid (1, 0); per-point |dx| = 1 on dim0, 0 on dim1 -> mean 0.5
+        assert w[0] == pytest.approx(0.5)
+
+    def test_only_cluster_dims_count(self):
+        X = np.array([[0.0, 100.0], [2.0, -100.0]])
+        labels = np.array([0, 0])
+        w = cluster_dispersions(X, labels, [(0,)])
+        assert w[0] == pytest.approx(1.0)
+
+    def test_empty_cluster_zero(self):
+        X = np.zeros((2, 2))
+        labels = np.array([0, 0])
+        w = cluster_dispersions(X, labels, [(0,), (1,)])
+        assert w[1] == 0.0
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ParameterError, match="empty dimension set"):
+            cluster_dispersions(np.zeros((2, 2)), np.zeros(2, dtype=int), [()])
+
+
+class TestEvaluateClusters:
+    def test_size_weighted_average(self):
+        # cluster 0: 2 points, w=0.5; cluster 1: 1 point, w=0
+        X = np.array([[0.0, 0.0], [2.0, 0.0], [50.0, 50.0]])
+        labels = np.array([0, 0, 1])
+        obj = evaluate_clusters(X, labels, [(0, 1), (0, 1)])
+        assert obj == pytest.approx((2 * 0.5 + 1 * 0.0) / 3)
+
+    def test_lower_for_better_clustering(self, two_cluster_points):
+        X = two_cluster_points
+        good = np.repeat([0, 1], 40)
+        bad = np.tile([0, 1], 40)
+        dims = [(0, 1), (2, 3)]
+        assert evaluate_clusters(X, good, dims) < evaluate_clusters(X, bad, dims)
+
+    def test_perfect_clusters_score_zero(self):
+        X = np.array([[1.0, 5.0], [1.0, 5.0], [9.0, 2.0], [9.0, 2.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert evaluate_clusters(X, labels, [(0, 1), (0, 1)]) == 0.0
+
+    def test_outliers_excluded_from_numerator(self):
+        X = np.array([[0.0], [0.0], [1000.0]])
+        labels = np.array([0, 0, -1])
+        obj = evaluate_clusters(X, labels, [(0,)])
+        assert obj == 0.0
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            evaluate_clusters(np.zeros((0, 2)), np.array([], dtype=int), [(0,)])

@@ -1,0 +1,56 @@
+"""Unit tests for dataset CSV/NPZ round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate, load_csv, load_npz, save_csv, save_npz
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def dataset():
+    return generate(50, 6, 2, cluster_dim_counts=[3, 2], seed=42, name="io-test")
+
+
+class TestCsv:
+    def test_round_trip_points_exact(self, dataset, tmp_path):
+        path = save_csv(dataset, tmp_path / "ds.csv")
+        loaded = load_csv(path)
+        assert np.array_equal(loaded.points, dataset.points)
+
+    def test_round_trip_labels(self, dataset, tmp_path):
+        loaded = load_csv(save_csv(dataset, tmp_path / "ds.csv"))
+        assert np.array_equal(loaded.labels, dataset.labels)
+
+    def test_round_trip_dims_and_name(self, dataset, tmp_path):
+        loaded = load_csv(save_csv(dataset, tmp_path / "ds.csv"))
+        assert loaded.cluster_dimensions == dataset.cluster_dimensions
+        assert loaded.name == "io-test"
+
+    def test_unlabelled_round_trip(self, dataset, tmp_path):
+        blind = dataset.without_ground_truth()
+        loaded = load_csv(save_csv(blind, tmp_path / "blind.csv"))
+        assert loaded.labels is None
+        assert np.array_equal(loaded.points, blind.points)
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("# name: nothing\nx0,x1\n")
+        with pytest.raises(DataError, match="no data rows"):
+            load_csv(p)
+
+
+class TestNpz:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_npz(dataset, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.points, dataset.points)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.cluster_dimensions == dataset.cluster_dimensions
+        assert loaded.name == "io-test"
+
+    def test_unlabelled(self, dataset, tmp_path):
+        path = tmp_path / "blind.npz"
+        save_npz(dataset.without_ground_truth(), path)
+        assert load_npz(path).labels is None

@@ -1,0 +1,143 @@
+"""Unit tests for the section-4.1 synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, SyntheticDataGenerator, generate
+from repro.data.dataset import OUTLIER_LABEL
+from repro.exceptions import ParameterError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticConfig().validate()
+
+    def test_bad_outlier_fraction(self):
+        with pytest.raises(ParameterError):
+            SyntheticConfig(outlier_fraction=1.0).validate()
+
+    def test_bad_poisson(self):
+        with pytest.raises(ParameterError):
+            SyntheticConfig(poisson_lambda=0).validate()
+
+    def test_counts_length_mismatch(self):
+        with pytest.raises(ParameterError, match="one entry per cluster"):
+            SyntheticConfig(n_clusters=3, cluster_dim_counts=[5, 5]).validate()
+
+    def test_count_below_two(self):
+        with pytest.raises(ParameterError, match=r"\[2, d\]"):
+            SyntheticConfig(n_clusters=1, cluster_dim_counts=[1]).validate()
+
+    def test_explicit_dims_validated(self):
+        with pytest.raises(ParameterError, match=">= 2 valid"):
+            SyntheticConfig(n_clusters=1, cluster_dims=[[0]]).validate()
+
+    def test_average_cluster_dim(self):
+        cfg = SyntheticConfig(n_clusters=2, cluster_dim_counts=[2, 6])
+        assert cfg.average_cluster_dim == 4.0
+
+
+class TestGeneratedStructure:
+    def test_shapes_and_counts(self):
+        ds = generate(1000, 15, 4, seed=9)
+        assert ds.points.shape == (1000, 15)
+        assert ds.labels.shape == (1000,)
+        assert ds.n_clusters == 4
+
+    def test_outlier_fraction_respected(self):
+        ds = generate(2000, 10, 3, outlier_fraction=0.05, seed=4)
+        assert ds.n_outliers == 100
+
+    def test_zero_outliers(self):
+        ds = generate(500, 10, 3, outlier_fraction=0.0, seed=4)
+        assert ds.n_outliers == 0
+
+    def test_sizes_sum_to_n(self):
+        ds = generate(997, 10, 5, seed=11)
+        assert sum(ds.cluster_sizes().values()) + ds.n_outliers == 997
+
+    def test_pinned_dim_counts(self):
+        ds = generate(500, 20, 5, cluster_dim_counts=[7] * 5, seed=1)
+        assert all(len(d) == 7 for d in ds.cluster_dimensions.values())
+
+    def test_pinned_dim_sets(self):
+        dims = [[0, 1, 2], [3, 4]]
+        ds = generate(300, 10, 2, cluster_dims=dims, seed=1)
+        assert ds.cluster_dimensions == {0: (0, 1, 2), 1: (3, 4)}
+
+    def test_dimensionality_clamped_to_range(self):
+        ds = generate(300, 6, 4, poisson_lambda=1.0, seed=5)
+        for d in ds.cluster_dimensions.values():
+            assert 2 <= len(d) <= 6
+
+    def test_reproducible(self):
+        a = generate(400, 10, 3, seed=77)
+        b = generate(400, 10, 3, seed=77)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate(400, 10, 3, seed=1)
+        b = generate(400, 10, 3, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+
+class TestStatisticalShape:
+    def test_cluster_dims_are_tight(self):
+        """Cluster-dimension std must be ~ s_ij * r <= 4, far below uniform."""
+        ds = generate(4000, 12, 2, cluster_dim_counts=[4, 4],
+                      outlier_fraction=0.0, seed=3)
+        for cid, dims in ds.cluster_dimensions.items():
+            pts = ds.cluster_points(cid)
+            non_dims = [j for j in range(12) if j not in dims]
+            tight = pts[:, list(dims)].std(axis=0).max()
+            loose = pts[:, non_dims].std(axis=0).min()
+            assert tight < 6.0          # ~ max scale 2 * spread 2 = sigma 4
+            assert loose > 20.0          # uniform on [0,100] has std ~28.9
+
+    def test_outliers_spread_over_box(self):
+        ds = generate(5000, 10, 3, outlier_fraction=0.2, seed=8)
+        outliers = ds.points[ds.labels == OUTLIER_LABEL]
+        assert outliers.min() >= 0.0
+        assert outliers.max() <= 100.0
+        assert outliers.std(axis=0).min() > 20.0
+
+    def test_clip_keeps_points_in_box(self):
+        ds = generate(2000, 8, 3, clip=True, seed=6)
+        assert ds.points.min() >= 0.0
+        assert ds.points.max() <= 100.0
+
+    def test_inherited_dimensions_overlap(self):
+        """Consecutive clusters share min(d_prev, d_i//2) dimensions."""
+        gen = SyntheticDataGenerator(SyntheticConfig(n_clusters=4, n_dims=20,
+                                                     seed=123))
+        rng = np.random.default_rng(5)
+        counts = [6, 6, 6, 6]
+        sets = gen.draw_dimension_sets(counts, rng)
+        for prev, cur in zip(sets, sets[1:]):
+            shared = set(prev) & set(cur)
+            assert len(shared) >= min(len(prev), 6 // 2)
+
+    def test_exponential_sizes_all_positive(self):
+        ds = generate(1000, 10, 8, seed=13)
+        assert all(s >= 1 for s in ds.cluster_sizes().values())
+
+
+class TestGeneratorObject:
+    def test_repeated_draws_differ(self):
+        gen = SyntheticDataGenerator(SyntheticConfig(n_points=300, seed=5))
+        a = gen.generate()
+        b = gen.generate()
+        assert not np.array_equal(a.points, b.points)
+
+    def test_explicit_seed_overrides_stream(self):
+        gen = SyntheticDataGenerator(SyntheticConfig(n_points=300, seed=5))
+        a = gen.generate(seed=99)
+        gen2 = SyntheticDataGenerator(SyntheticConfig(n_points=300, seed=5))
+        b = gen2.generate(seed=99)
+        assert np.array_equal(a.points, b.points)
+
+    def test_metadata_records_sizes(self):
+        ds = generate(500, 10, 3, seed=21)
+        meta_sizes = ds.metadata["cluster_sizes"]
+        assert meta_sizes == ds.cluster_sizes()

@@ -1,0 +1,77 @@
+"""Unit tests for dataset transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    add_noise_dimensions,
+    generate,
+    min_max_normalize,
+    shuffle_points,
+)
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def dataset():
+    return generate(200, 5, 2, seed=10)
+
+
+class TestMinMax:
+    def test_range(self, dataset):
+        scaled = min_max_normalize(dataset)
+        assert scaled.points.min() >= 0.0
+        assert scaled.points.max() <= 1.0
+
+    def test_custom_range(self, dataset):
+        scaled = min_max_normalize(dataset, feature_range=(-1.0, 1.0))
+        assert scaled.points.min() == pytest.approx(-1.0)
+        assert scaled.points.max() == pytest.approx(1.0)
+
+    def test_constant_dimension_maps_to_midpoint(self):
+        from repro.data import Dataset
+        pts = np.column_stack([np.full(5, 7.0), np.arange(5, dtype=float)])
+        scaled = min_max_normalize(Dataset(points=pts))
+        assert np.allclose(scaled.points[:, 0], 0.5)
+
+    def test_invalid_range(self, dataset):
+        with pytest.raises(ParameterError, match="high > low"):
+            min_max_normalize(dataset, feature_range=(1.0, 1.0))
+
+    def test_ground_truth_preserved(self, dataset):
+        scaled = min_max_normalize(dataset)
+        assert np.array_equal(scaled.labels, dataset.labels)
+        assert scaled.cluster_dimensions == dataset.cluster_dimensions
+
+
+class TestNoiseDims:
+    def test_appends_dimensions(self, dataset):
+        out = add_noise_dimensions(dataset, 3, seed=1)
+        assert out.n_dims == dataset.n_dims + 3
+        assert np.array_equal(out.points[:, :5], dataset.points)
+
+    def test_zero_is_identity(self, dataset):
+        assert add_noise_dimensions(dataset, 0) is dataset
+
+    def test_negative_rejected(self, dataset):
+        with pytest.raises(ParameterError):
+            add_noise_dimensions(dataset, -1)
+
+    def test_noise_within_bounds(self, dataset):
+        out = add_noise_dimensions(dataset, 2, low=5.0, high=6.0, seed=2)
+        noise = out.points[:, 5:]
+        assert noise.min() >= 5.0
+        assert noise.max() <= 6.0
+
+
+class TestShuffle:
+    def test_preserves_multiset(self, dataset):
+        shuffled = shuffle_points(dataset, seed=3)
+        assert np.allclose(
+            np.sort(shuffled.points, axis=0), np.sort(dataset.points, axis=0)
+        )
+
+    def test_labels_stay_aligned(self, dataset):
+        shuffled, perm = shuffle_points(dataset, seed=3, return_permutation=True)
+        assert np.array_equal(shuffled.labels, dataset.labels[perm])
+        assert np.array_equal(shuffled.points, dataset.points[perm])

@@ -1,0 +1,103 @@
+"""Unit tests for the named domain workloads."""
+
+import numpy as np
+import pytest
+
+from repro import proclus
+from repro.data import (
+    collaborative_filtering_workload,
+    customer_segmentation_workload,
+    sensor_fleet_workload,
+)
+from repro.data.workloads import BEHAVIOUR_FEATURES, PRODUCT_CATEGORIES
+from repro.exceptions import ParameterError
+from repro.metrics import adjusted_rand_index
+
+
+class TestCollaborativeFiltering:
+    def test_shapes(self):
+        ds = collaborative_filtering_workload(100, 20, seed=1)
+        assert ds.n_points == 4 * 100 + 20
+        assert ds.n_dims == len(PRODUCT_CATEGORIES)
+        assert ds.n_clusters == 4
+        assert ds.n_outliers == 20
+
+    def test_ground_truth_dims_match_segments(self):
+        ds = collaborative_filtering_workload(50, 0, seed=1)
+        gaming = PRODUCT_CATEGORIES.index("gaming")
+        young_gamers_dims = ds.cluster_dimensions[0]
+        assert gaming in young_gamers_dims
+
+    def test_ratings_within_scale(self):
+        ds = collaborative_filtering_workload(100, 10, rating_scale=5.0,
+                                              seed=2)
+        assert ds.points.min() >= 0.0
+        assert ds.points.max() <= 5.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ParameterError, match="unknown categories"):
+            collaborative_filtering_workload(
+                10, 0, segments={"bad": (("no-such-cat",), 5.0)},
+            )
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            collaborative_filtering_workload(10, 0, segments={})
+
+    def test_proclus_recovers_segments(self):
+        ds = collaborative_filtering_workload(400, 50, seed=3)
+        result = proclus(ds.points, 4, 3.75, seed=3, max_bad_tries=20)
+        assert adjusted_rand_index(result.labels, ds.labels) > 0.8
+
+    def test_metadata_names(self):
+        ds = collaborative_filtering_workload(10, 0, seed=1)
+        assert ds.metadata["feature_names"] == list(PRODUCT_CATEGORIES)
+        assert "young gamers" in ds.metadata["segment_names"]
+
+
+class TestCustomerSegmentation:
+    def test_shapes(self):
+        ds = customer_segmentation_workload(100, 30, seed=4)
+        assert ds.n_dims == len(BEHAVIOUR_FEATURES)
+        assert ds.n_clusters == 4
+        assert ds.n_outliers == 30
+
+    def test_values_normalised(self):
+        ds = customer_segmentation_workload(100, 10, seed=4)
+        assert ds.points.min() >= 0.0
+        assert ds.points.max() <= 1.0
+
+    def test_defining_features_are_tight(self):
+        ds = customer_segmentation_workload(400, 0, sigma=0.04, seed=5)
+        for cid, dims in ds.cluster_dimensions.items():
+            pts = ds.cluster_points(cid)
+            assert pts[:, list(dims)].std(axis=0).max() < 0.1
+
+    def test_each_segment_has_own_dims(self):
+        ds = customer_segmentation_workload(50, 0, seed=5)
+        sets = list(ds.cluster_dimensions.values())
+        assert len(set(sets)) == len(sets)
+
+
+class TestSensorFleet:
+    def test_shapes_and_modes(self):
+        ds = sensor_fleet_workload(1200, 60, n_modes=3, seed=6)
+        assert ds.n_clusters == 3
+        assert ds.n_outliers == 60
+
+    def test_signature_sizes(self):
+        ds = sensor_fleet_workload(1000, 0, n_modes=4, seed=7)
+        for dims in ds.cluster_dimensions.values():
+            assert 3 <= len(dims) <= 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            sensor_fleet_workload(n_metrics=4)
+        with pytest.raises(ParameterError):
+            sensor_fleet_workload(n_modes=0)
+
+    def test_reproducible(self):
+        a = sensor_fleet_workload(500, 20, seed=8)
+        b = sensor_fleet_workload(500, 20, seed=8)
+        assert np.array_equal(a.points, b.points)
+        assert a.cluster_dimensions == b.cluster_dimensions

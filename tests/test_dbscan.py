@@ -1,0 +1,89 @@
+"""Unit tests for the DBSCAN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBSCAN, dbscan
+from repro.data.dataset import OUTLIER_LABEL
+from repro.exceptions import ParameterError
+from repro.metrics import purity
+
+
+@pytest.fixture(scope="module")
+def two_blobs_with_noise():
+    rng = np.random.default_rng(2)
+    a = rng.normal([0.0, 0.0], 0.5, size=(60, 2))
+    b = rng.normal([20.0, 20.0], 0.5, size=(60, 2))
+    noise = np.array([[10.0, 10.0], [-10.0, 15.0], [30.0, -5.0]])
+    X = np.vstack([a, b, noise])
+    y = np.array([0] * 60 + [1] * 60 + [-1] * 3)
+    return X, y
+
+
+class TestDbscan:
+    def test_finds_two_clusters(self, two_blobs_with_noise):
+        X, y = two_blobs_with_noise
+        result = dbscan(X, eps=2.0, min_pts=5)
+        assert result.n_clusters == 2
+        assert purity(result.labels, y) > 0.95
+
+    def test_isolated_points_are_noise(self, two_blobs_with_noise):
+        X, y = two_blobs_with_noise
+        result = dbscan(X, eps=2.0, min_pts=5)
+        assert (result.labels[-3:] == OUTLIER_LABEL).all()
+        assert result.n_noise == 3
+
+    def test_core_points_marked(self, two_blobs_with_noise):
+        X, _ = two_blobs_with_noise
+        result = dbscan(X, eps=2.0, min_pts=5)
+        # interior blob points are core; isolated noise is not
+        assert result.core_mask[:120].sum() > 100
+        assert not result.core_mask[-3:].any()
+
+    def test_tiny_eps_everything_noise(self, two_blobs_with_noise):
+        X, _ = two_blobs_with_noise
+        result = dbscan(X, eps=1e-6, min_pts=5)
+        assert result.n_clusters == 0
+        assert result.n_noise == X.shape[0]
+
+    def test_huge_eps_single_cluster(self, two_blobs_with_noise):
+        X, _ = two_blobs_with_noise
+        result = dbscan(X, eps=1e6, min_pts=5)
+        assert result.n_clusters == 1
+        assert result.n_noise == 0
+
+    def test_min_pts_one_no_noise(self, two_blobs_with_noise):
+        X, _ = two_blobs_with_noise
+        result = dbscan(X, eps=2.0, min_pts=1)
+        assert result.n_noise == 0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ParameterError):
+            dbscan(np.zeros((5, 2)), eps=0.0)
+
+    def test_labels_contiguous(self, two_blobs_with_noise):
+        X, _ = two_blobs_with_noise
+        result = dbscan(X, eps=2.0, min_pts=5)
+        ids = sorted(set(result.labels.tolist()) - {OUTLIER_LABEL})
+        assert ids == list(range(result.n_clusters))
+
+    def test_estimator(self, two_blobs_with_noise):
+        X, y = two_blobs_with_noise
+        labels = DBSCAN(eps=2.0, min_pts=5).fit_predict(X)
+        assert purity(labels, y) > 0.9
+
+    def test_fails_on_projected_structure(self):
+        """Full-dimensional DBSCAN cannot separate projected clusters:
+        no single eps both connects clusters spread over irrelevant
+        dimensions and separates different clusters."""
+        from repro.data import generate
+        from repro.metrics import adjusted_rand_index
+        ds = generate(800, 20, 3, cluster_dim_counts=[4, 4, 4],
+                      outlier_fraction=0.0, seed=9)
+        best_ari = -1.0
+        for eps in (20.0, 50.0, 80.0, 120.0):
+            result = dbscan(ds.points, eps=eps, min_pts=5)
+            ari = adjusted_rand_index(result.labels, ds.labels,
+                                      include_outliers=True)
+            best_ari = max(best_ari, ari)
+        assert best_ari < 0.5

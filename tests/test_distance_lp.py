@@ -1,0 +1,99 @@
+"""Unit tests for Lp distances."""
+
+import numpy as np
+import pytest
+
+from repro.distance import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    LpDistance,
+    ManhattanDistance,
+    chebyshev,
+    euclidean,
+    lp_distance,
+    manhattan,
+)
+from repro.exceptions import ParameterError
+
+
+class TestManhattan:
+    def test_known_value(self):
+        assert manhattan([0, 0], [3, 4]) == 7.0
+
+    def test_zero_for_identical(self):
+        assert manhattan([1.5, -2, 3], [1.5, -2, 3]) == 0.0
+
+    def test_symmetry(self):
+        a, b = [1, 2, 3], [4, 0, -1]
+        assert manhattan(a, b) == manhattan(b, a)
+
+    def test_batch_matches_scalar(self):
+        m = ManhattanDistance()
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [-2.0, 5.0]])
+        p = np.array([1.0, -1.0])
+        batch = m.pairwise_to_point(X, p)
+        expected = [m(x, p) for x in X]
+        assert np.allclose(batch, expected)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean([0, 0], [3, 4]) == 5.0
+
+    def test_le_manhattan(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.normal(size=5), rng.normal(size=5)
+            assert euclidean(a, b) <= manhattan(a, b) + 1e-12
+
+    def test_batch_matches_scalar(self):
+        m = EuclideanDistance()
+        X = np.random.default_rng(1).normal(size=(10, 4))
+        p = np.zeros(4)
+        assert np.allclose(
+            m.pairwise_to_point(X, p), np.linalg.norm(X, axis=1)
+        )
+
+
+class TestChebyshev:
+    def test_known_value(self):
+        assert chebyshev([0, 0, 0], [1, -5, 2]) == 5.0
+
+    def test_is_lp_limit(self):
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([1.0, 2.0, 3.0])
+        big_p = lp_distance(a, b, 64)
+        assert big_p == pytest.approx(chebyshev(a, b), rel=0.05)
+
+
+class TestLp:
+    def test_p1_equals_manhattan(self):
+        a, b = [1.0, 2.0], [4.0, -2.0]
+        assert lp_distance(a, b, 1) == pytest.approx(manhattan(a, b))
+
+    def test_p2_equals_euclidean(self):
+        a, b = [1.0, 2.0], [4.0, -2.0]
+        assert lp_distance(a, b, 2) == pytest.approx(euclidean(a, b))
+
+    def test_p3_known_value(self):
+        assert lp_distance([0, 0], [1, 1], 3) == pytest.approx(2 ** (1 / 3))
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ParameterError, match="p >= 1"):
+            LpDistance(0.5)
+
+    def test_monotone_decreasing_in_p(self):
+        a = np.zeros(4)
+        b = np.array([1.0, 2.0, 0.5, 3.0])
+        values = [lp_distance(a, b, p) for p in (1, 2, 3, 8)]
+        assert all(x >= y - 1e-12 for x, y in zip(values, values[1:]))
+
+
+class TestTriangleInequality:
+    @pytest.mark.parametrize("metric", [ManhattanDistance(), EuclideanDistance(),
+                                        ChebyshevDistance(), LpDistance(3)])
+    def test_holds_on_random_triples(self, metric):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            a, b, c = rng.normal(size=(3, 6))
+            assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-9

@@ -1,0 +1,92 @@
+"""Unit tests for the Manhattan segmental distance (paper section 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.distance import (
+    ManhattanSegmentalDistance,
+    manhattan,
+    pairwise_segmental,
+    segmental_distance,
+    segmental_distances_to_point,
+)
+from repro.exceptions import ParameterError
+
+
+class TestSegmentalDistance:
+    def test_is_average_per_dimension(self):
+        a = [0.0, 0.0, 0.0, 0.0]
+        b = [2.0, 4.0, 100.0, -50.0]
+        # dims {0, 1}: (2 + 4) / 2 = 3
+        assert segmental_distance(a, b, [0, 1]) == 3.0
+
+    def test_full_dims_equals_manhattan_over_d(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=6), rng.normal(size=6)
+        full = segmental_distance(a, b, range(6))
+        assert full == pytest.approx(manhattan(a, b) / 6)
+
+    def test_single_dimension(self):
+        assert segmental_distance([1, 9], [4, 9], [0]) == 3.0
+
+    def test_ignores_other_dims(self):
+        a = [0.0, 123.0]
+        b = [1.0, -999.0]
+        assert segmental_distance(a, b, [0]) == 1.0
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            segmental_distance([1.0], [2.0], [])
+
+    def test_normalisation_makes_subspaces_comparable(self):
+        # same per-dimension gap; distances must agree despite |D| differing
+        a = np.zeros(8)
+        b = np.full(8, 3.0)
+        assert segmental_distance(a, b, [0, 1]) == pytest.approx(
+            segmental_distance(a, b, [2, 3, 4, 5])
+        )
+
+
+class TestBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(15, 5))
+        p = rng.normal(size=5)
+        dims = [0, 2, 4]
+        batch = segmental_distances_to_point(X, p, dims)
+        expected = [segmental_distance(x, p, dims) for x in X]
+        assert np.allclose(batch, expected)
+
+    def test_pairwise_symmetric_with_zero_diagonal(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(8, 4))
+        m = pairwise_segmental(X, [1, 3])
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_pairwise_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(5, 4))
+        m = pairwise_segmental(X, [0, 1])
+        for i in range(5):
+            for j in range(5):
+                assert m[i, j] == pytest.approx(
+                    segmental_distance(X[i], X[j], [0, 1])
+                )
+
+
+class TestMetricObject:
+    def test_callable_form(self):
+        metric = ManhattanSegmentalDistance([0, 1])
+        assert metric([0, 0, 5], [2, 4, 99]) == 3.0
+
+    def test_registry_style_name(self):
+        metric = ManhattanSegmentalDistance([2, 0])
+        assert metric.name == "segmental[0,2]"
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(4)
+        metric = ManhattanSegmentalDistance([0, 2])
+        for _ in range(25):
+            a, b, c = rng.normal(size=(3, 4))
+            assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-9

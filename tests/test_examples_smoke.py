@@ -1,0 +1,56 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each fast example is executed in-process (``runpy``) with stdout
+captured; the slow ones (full CLIQUE comparison, scaling study) are
+exercised through their underlying library calls elsewhere and excluded
+here to keep the suite quick.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "adjusted Rand index"),
+    ("feature_selection_failure.py", "PROCLUS"),
+    ("oriented_subspaces.py", "ORCLUS"),
+    ("sensor_anomalies.py", "anomaly detection"),
+]
+
+
+@pytest.mark.parametrize("script,expected", FAST_EXAMPLES,
+                         ids=[s for s, _ in FAST_EXAMPLES])
+def test_example_runs(script, expected, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert expected in out
+
+
+def test_all_examples_present():
+    """The repository ships at least the documented example set."""
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    required = {
+        "quickstart.py",
+        "collaborative_filtering.py",
+        "feature_selection_failure.py",
+        "clique_comparison.py",
+        "scaling_study.py",
+        "parameter_tuning.py",
+        "sensor_anomalies.py",
+        "oriented_subspaces.py",
+    }
+    assert required <= names
+
+
+def test_examples_have_docstrings():
+    import ast
+    for path in EXAMPLES.glob("*.py"):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"

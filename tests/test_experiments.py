@@ -1,0 +1,133 @@
+"""Tests for the experiment harness (small-scale runs of each runner)."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    format_series,
+    format_table,
+    get_experiment,
+    list_experiments,
+    run_accuracy_case,
+    run_locality_theorem_check,
+    run_scalability_space_dim,
+)
+from repro.experiments.configs import (
+    CASE1_DIMS,
+    CASE2_DIMS,
+    make_case_config,
+    make_scalability_config,
+)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_series(self):
+        text = format_series("x", ["y1", "y2"], [1, 2], [[0.1, 0.2], [1.0, 2.0]])
+        assert "y1" in text and "y2" in text
+
+    def test_title_rendered(self):
+        assert format_table(["a"], [[1]], title="T").startswith("T")
+
+
+class TestConfigs:
+    def test_case1(self):
+        cfg = make_case_config(1, n_points=500)
+        assert cfg.cluster_dim_counts == CASE1_DIMS
+        assert cfg.l == 7
+        assert cfg.synthetic_config().n_points == 500
+
+    def test_case2_average_is_four(self):
+        cfg = make_case_config(2)
+        assert cfg.cluster_dim_counts == CASE2_DIMS
+        assert sum(CASE2_DIMS) / len(CASE2_DIMS) == cfg.l == 4
+
+    def test_invalid_case(self):
+        with pytest.raises(ValueError):
+            make_case_config(3)
+
+    def test_scalability_config(self):
+        cfg = make_scalability_config(1000, 30, 6)
+        assert cfg.n_dims == 30
+        assert cfg.cluster_dim_counts == [6] * 5
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        names = {name for name, _ in list_experiments()}
+        for required in ("table1", "table2", "table3", "table4", "table5",
+                         "fig7", "fig8", "fig9"):
+            assert required in names
+
+    def test_lookup(self):
+        assert callable(get_experiment("table1"))
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            get_experiment("table99")
+
+
+class TestAccuracyRunner:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_accuracy_case(1, n_points=2000, seed=70, max_bad_tries=10)
+
+    def test_report_fields(self, report):
+        assert report.dataset.n_points == 2000
+        assert report.result.k == 5
+        assert 0.0 <= report.mean_dominance <= 1.0
+        assert 0.0 <= report.exact_dimension_rate <= 1.0
+
+    def test_report_quality_sane(self, report):
+        """Even at toy scale the structure should be mostly right."""
+        assert report.ari > 0.4
+        assert report.mean_dominance > 0.6
+
+    def test_text_contains_tables(self, report):
+        text = report.to_text()
+        assert "Input clusters" in text
+        assert "Output clusters" in text
+        assert "Confusion matrix" in text
+        assert "adjusted Rand index" in text
+
+    def test_case2_runs(self):
+        rep = run_accuracy_case(2, n_points=1500, seed=70, max_bad_tries=5)
+        assert rep.case.l == 4
+        assert rep.result.k == 5
+
+
+class TestScalabilityRunner:
+    def test_space_dim_series(self):
+        rep = run_scalability_space_dim(dims=(6, 8), n_points=400,
+                                        cluster_dim=3)
+        assert rep.x_values == [6.0, 8.0]
+        assert len(rep.series["PROCLUS"]) == 2
+        assert all(s > 0 for s in rep.series["PROCLUS"])
+        assert "Figure 9" in rep.to_text()
+
+    def test_slope_and_ratios(self):
+        from repro.experiments import ScalabilityReport
+        rep = ScalabilityReport(x_label="N", x_values=[1.0, 2.0, 4.0],
+                                series={"a": [1.0, 2.0, 4.0]})
+        assert rep.slope("a") == pytest.approx(1.0)
+        assert rep.growth_ratios("a") == [2.0, 2.0]
+
+    def test_speedup(self):
+        from repro.experiments import ScalabilityReport
+        rep = ScalabilityReport(x_label="N", x_values=[1.0],
+                                series={"fast": [1.0], "slow": [10.0]})
+        assert rep.speedup("fast", "slow") == [10.0]
+
+
+class TestTheoremCheck:
+    def test_locality_close_to_n_over_k(self):
+        rep = run_locality_theorem_check(n_points=2000, k=4, n_trials=40,
+                                         seed=11)
+        assert rep.expected == 500.0
+        assert rep.relative_error < 0.25
+        assert "Theorem 3.1" in rep.to_text()

@@ -1,0 +1,69 @@
+"""Small-scale tests for the ablation runners."""
+
+import pytest
+
+from repro.experiments import (
+    run_initialization_ablation,
+    run_min_deviation_ablation,
+    run_pool_size_ablation,
+)
+from repro.experiments.ablations import AblationReport
+
+
+class TestAblationReport:
+    def test_best_by(self):
+        report = AblationReport(knob="x", rows=[
+            {"variant": "a", "score": 1.0},
+            {"variant": "b", "score": 3.0},
+        ])
+        assert report.best_by("score")["variant"] == "b"
+        assert report.best_by("score", minimize=True)["variant"] == "a"
+
+    def test_row_for(self):
+        report = AblationReport(knob="x", rows=[{"variant": "a", "v": 1.0}])
+        assert report.row_for("a")["v"] == 1.0
+        with pytest.raises(KeyError):
+            report.row_for("missing")
+
+    def test_empty_text(self):
+        assert "no rows" in AblationReport(knob="x").to_text()
+
+
+class TestInitializationAblation:
+    def test_three_variants(self):
+        report = run_initialization_ablation(n_points=800, n_seeds=1,
+                                             seed=70)
+        variants = {r["variant"] for r in report.rows}
+        assert variants == {"greedy_on_sample (paper)", "random_pool",
+                            "greedy_on_full"}
+        for r in report.rows:
+            assert -1.0 <= r["ari"] <= 1.0
+            assert r["objective"] > 0
+            assert r["seconds"] > 0
+
+    def test_renders(self):
+        report = run_initialization_ablation(n_points=600, n_seeds=1,
+                                             seed=70)
+        assert "initialization strategy" in report.to_text()
+
+
+class TestMinDeviationAblation:
+    def test_sweep_rows(self):
+        report = run_min_deviation_ablation(n_points=800,
+                                            values=(0.05, 0.3), seed=70)
+        assert [r["variant"] for r in report.rows] == ["0.05", "0.3"]
+        for r in report.rows:
+            assert r["outliers"] >= 0
+
+
+class TestPoolSizeAblation:
+    def test_b_above_a_skipped(self):
+        report = run_pool_size_ablation(n_points=800, a_values=(4,),
+                                        b_values=(2, 8), seed=70)
+        variants = [r["variant"] for r in report.rows]
+        assert variants == ["A=4,B=2"]  # B=8 > A=4 skipped
+
+    def test_grid_size(self):
+        report = run_pool_size_ablation(n_points=800, a_values=(5, 10),
+                                        b_values=(2, 5), seed=70)
+        assert len(report.rows) == 4

@@ -1,0 +1,95 @@
+"""Small-scale tests of the CLIQUE-quality and scalability experiments."""
+
+import pytest
+
+from repro.data import generate
+from repro.experiments import (
+    run_clique_quality,
+    run_scalability_cluster_dim,
+    run_scalability_points,
+    run_table5_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_case():
+    """A tiny Case-1-like workload to keep the CLIQUE passes fast."""
+    return generate(600, 8, 3, cluster_dim_counts=[4, 4, 4],
+                    outlier_fraction=0.05, seed=70)
+
+
+class TestCliqueQuality:
+    def test_sweep_rows(self, tiny_case):
+        report = run_clique_quality(
+            tau_percents=(3.0, 5.0), max_dimensionality=4,
+            dataset=tiny_case,
+        )
+        assert len(report.rows) == 2
+        row = report.row_for(3.0)
+        assert row["n_clusters"] >= 1
+        assert row["overlap"] >= 1.0
+        assert 0.0 <= row["cluster_points_pct"] <= 100.0
+
+    def test_lower_tau_recovers_no_fewer_points(self, tiny_case):
+        """Lower threshold => dense units are a superset, so recovered
+        cluster-point percentage cannot drop at the same reported dim."""
+        report = run_clique_quality(
+            tau_percents=(2.0, 6.0), max_dimensionality=2,
+            dataset=tiny_case,
+        )
+        low = report.row_for(2.0)
+        high = report.row_for(6.0)
+        if low["max_dim"] == high["max_dim"]:
+            assert low["cluster_points_pct"] >= high["cluster_points_pct"] - 1e-9
+
+    def test_unknown_row(self, tiny_case):
+        report = run_clique_quality(tau_percents=(3.0,),
+                                    max_dimensionality=2, dataset=tiny_case)
+        with pytest.raises(KeyError):
+            report.row_for(9.9)
+
+    def test_text_rendering(self, tiny_case):
+        report = run_clique_quality(tau_percents=(3.0,),
+                                    max_dimensionality=2, dataset=tiny_case)
+        assert "CLIQUE quality sweep" in report.to_text()
+
+
+class TestTable5Snapshot:
+    def test_snapshot_fields(self, tiny_case):
+        snap = run_table5_snapshot(
+            tau_percent=2.0, target_dim=4, dataset=tiny_case, max_rows=5,
+        )
+        assert snap.n_clusters >= 1
+        assert snap.overlap >= 1.0
+        assert len(snap.snapshot_rows) <= 5
+        assert "restricted to 4 dimensions" in snap.to_text()
+
+    def test_rows_sorted_by_size(self, tiny_case):
+        snap = run_table5_snapshot(
+            tau_percent=2.0, target_dim=4, dataset=tiny_case,
+        )
+        sizes = [pts for _, _, pts in snap.snapshot_rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestScalabilityRunners:
+    def test_points_sweep_without_clique(self):
+        report = run_scalability_points(sizes=(300, 600),
+                                        include_clique=False,
+                                        cluster_dim=3, n_dims=8)
+        assert list(report.series) == ["PROCLUS"]
+        assert len(report.series["PROCLUS"]) == 2
+
+    def test_cluster_dim_sweep_without_clique(self):
+        report = run_scalability_cluster_dim(dims=(2, 3), n_points=300,
+                                             include_clique=False,
+                                             n_dims=8, proclus_repeats=1)
+        assert report.x_values == [2.0, 3.0]
+
+    def test_chart_in_text(self):
+        report = run_scalability_points(sizes=(300, 600),
+                                        include_clique=False,
+                                        cluster_dim=3, n_dims=8)
+        text = report.to_text()
+        assert "|" in text          # the ASCII chart canvas
+        assert "PROCLUS" in text

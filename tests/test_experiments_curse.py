@@ -1,0 +1,35 @@
+"""Tests for the curse-of-dimensionality experiment."""
+
+import pytest
+
+from repro.experiments import run_curse_of_dimensionality
+
+
+class TestCurse:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_curse_of_dimensionality(dims=(2, 8, 24), n_points=600,
+                                           n_queries=20, n_pairs=150,
+                                           seed=11)
+
+    def test_rows_per_dimension(self, report):
+        assert report.dims == [2, 8, 24]
+        assert len(report.relative_contrast) == 3
+        assert len(report.far_pair_probability) == 3
+
+    def test_contrast_positive_and_decaying(self, report):
+        assert all(c > 0 for c in report.relative_contrast)
+        assert report.contrast_decays()
+
+    def test_probabilities_valid(self, report):
+        assert all(0.0 <= p <= 1.0 for p in report.far_pair_probability)
+        assert report.separation_grows()
+
+    def test_text(self, report):
+        text = report.to_text()
+        assert "Curse of dimensionality" in text
+        assert "relative contrast" in text
+
+    def test_registered(self):
+        from repro.experiments import get_experiment
+        assert get_experiment("curse") is not None

@@ -1,0 +1,59 @@
+"""Tests for the Figure-1 motivation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure1_dataset, run_motivation
+
+
+class TestFigure1Dataset:
+    def test_shapes(self):
+        X, y = figure1_dataset(n_per_cluster=100, n_noise_dims=2, seed=1)
+        assert X.shape == (200, 5)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_planted_geometry(self):
+        X, y = figure1_dataset(n_per_cluster=400, n_noise_dims=2, seed=1)
+        a, b = X[y == 0], X[y == 1]
+        # cluster 0 tight in x and y, spread in z
+        assert a[:, 0].std() < 3 and a[:, 1].std() < 3
+        assert a[:, 2].std() > 20
+        # cluster 1 tight in x and z, spread in y
+        assert b[:, 0].std() < 3 and b[:, 2].std() < 3
+        assert b[:, 1].std() > 20
+
+    def test_reproducible(self):
+        X1, y1 = figure1_dataset(seed=7)
+        X2, y2 = figure1_dataset(seed=7)
+        assert np.array_equal(X1, X2)
+        assert np.array_equal(y1, y2)
+
+
+class TestRunMotivation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_motivation(n_points=800, seed=3)
+
+    def test_all_methods_scored(self, report):
+        assert set(report.scores) == {
+            "PROCLUS", "k-means (full space)",
+            "feature selection + k-means", "DBSCAN (full space)",
+        }
+
+    def test_proclus_wins(self, report):
+        best_other = max(v for k, v in report.scores.items()
+                         if k != "PROCLUS")
+        assert report.scores["PROCLUS"] > best_other
+
+    def test_dimension_evidence_recorded(self, report):
+        assert len(report.proclus_dimensions) == 2
+        assert len(report.selected_dims) == 2
+
+    def test_text(self, report):
+        text = report.to_text()
+        assert "Figure 1 motivation" in text
+        assert "PROCLUS" in text
+
+    def test_registered(self):
+        from repro.experiments import get_experiment
+        assert get_experiment("fig1-motivation") is not None

@@ -1,0 +1,43 @@
+"""Tests for the one-call reproduction summary."""
+
+import pytest
+
+from repro.experiments import run_reproduction
+from repro.experiments.summary import ClaimResult, ReproductionSummary
+
+
+class TestReproductionSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_reproduction("smoke", seed=70)
+
+    def test_all_claims_checked(self, summary):
+        artifacts = {c.artifact for c in summary.claims}
+        assert artifacts == {"Tables 1+3", "Tables 2+4", "Figure 1",
+                             "Figure 9", "Theorem 3.1", "Section 1"}
+
+    def test_all_held_at_smoke_tier(self, summary):
+        failed = [c.artifact for c in summary.claims if not c.held]
+        assert summary.all_held, f"claims failed: {failed}"
+
+    def test_evidence_and_timings_recorded(self, summary):
+        for c in summary.claims:
+            assert c.evidence
+            assert c.seconds >= 0.0
+
+    def test_text_rendering(self, summary):
+        text = summary.to_text()
+        assert "Reproduction summary" in text
+        assert "6/6" in text
+
+    def test_invalid_tier(self):
+        with pytest.raises(ValueError):
+            run_reproduction("huge")
+
+    def test_counters(self):
+        s = ReproductionSummary(tier="smoke", claims=[
+            ClaimResult("a", "c", True, "e", 0.1),
+            ClaimResult("b", "c", False, "e", 0.1),
+        ])
+        assert s.n_held == 1
+        assert not s.all_held

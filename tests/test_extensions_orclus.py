@@ -1,0 +1,138 @@
+"""Tests for the ORCLUS extension and the rotated-workload generator."""
+
+import numpy as np
+import pytest
+
+from repro import proclus
+from repro.data import generate, generate_rotated, random_rotation, rotate_clusters
+from repro.exceptions import ParameterError
+from repro.extensions import Orclus, orclus
+from repro.metrics import adjusted_rand_index
+from repro.rng import ensure_rng
+
+
+class TestRandomRotation:
+    def test_orthogonal(self):
+        rng = ensure_rng(0)
+        for d in (2, 5, 12):
+            q = random_rotation(d, rng)
+            assert np.allclose(q @ q.T, np.eye(d), atol=1e-10)
+
+    def test_determinant_plus_one(self):
+        rng = ensure_rng(1)
+        for _ in range(5):
+            q = random_rotation(4, rng)
+            assert np.linalg.det(q) == pytest.approx(1.0)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ParameterError):
+            random_rotation(0, ensure_rng(0))
+
+
+class TestRotateClusters:
+    def test_preserves_labels_and_shape(self):
+        ds = generate(500, 8, 2, cluster_dim_counts=[3, 3], seed=2)
+        rotated = rotate_clusters(ds, seed=2)
+        assert rotated.points.shape == ds.points.shape
+        assert np.array_equal(rotated.labels, ds.labels)
+        assert rotated.cluster_dimensions is None
+
+    def test_cluster_means_preserved(self):
+        ds = generate(500, 8, 2, cluster_dim_counts=[3, 3], seed=2)
+        rotated = rotate_clusters(ds, seed=2)
+        for cid in ds.cluster_ids:
+            before = ds.cluster_points(cid).mean(axis=0)
+            after = rotated.points[rotated.labels == cid].mean(axis=0)
+            assert np.allclose(before, after, atol=1e-8)
+
+    def test_pairwise_distances_preserved_within_cluster(self):
+        """Rotation is an isometry: intra-cluster geometry survives."""
+        ds = generate(300, 6, 2, cluster_dim_counts=[2, 2], seed=3)
+        rotated = rotate_clusters(ds, seed=3)
+        members = np.flatnonzero(ds.labels == 0)[:20]
+        before = np.linalg.norm(
+            ds.points[members][:, None] - ds.points[members][None], axis=2)
+        after = np.linalg.norm(
+            rotated.points[members][:, None] - rotated.points[members][None],
+            axis=2)
+        assert np.allclose(before, after, atol=1e-8)
+
+    def test_axis_alignment_destroyed(self):
+        """After rotation, no coordinate dimension is tight anymore."""
+        ds = generate(1000, 10, 1, cluster_dims=[[0, 1, 2]],
+                      outlier_fraction=0.0, seed=4)
+        rotated = rotate_clusters(ds, seed=4)
+        stds = rotated.points.std(axis=0)
+        # originally dims 0-2 had std <= ~4; now every axis is spread
+        assert stds.min() > 5.0
+
+    def test_requires_labels(self):
+        from repro.data import Dataset
+        with pytest.raises(ParameterError, match="labels"):
+            rotate_clusters(Dataset(points=np.zeros((5, 3))))
+
+
+class TestOrclus:
+    def test_output_contract(self):
+        ds = generate_rotated(800, 10, 3, cluster_dim_counts=[3, 3, 3],
+                              seed=6)
+        result = orclus(ds.points, 3, 3, seed=6)
+        assert result.labels.shape == (800,)
+        assert result.k == 3
+        assert len(result.bases) == 3
+        for basis in result.bases:
+            assert basis.shape == (10, 3)
+            assert np.allclose(basis.T @ basis, np.eye(3), atol=1e-8)
+        assert result.energy >= 0.0
+
+    def test_recovers_rotated_clusters(self):
+        ds = generate_rotated(2000, 12, 3, cluster_dim_counts=[4, 4, 4],
+                              seed=5)
+        result = orclus(ds.points, 3, 4, seed=5)
+        assert adjusted_rand_index(result.labels, ds.labels) > 0.6
+
+    def test_beats_proclus_on_rotated_structure(self):
+        """The headline extension claim: oriented subspaces defeat the
+        axis-parallel model."""
+        ds = generate_rotated(2000, 12, 3, cluster_dim_counts=[4, 4, 4],
+                              seed=5)
+        o_ari = adjusted_rand_index(
+            orclus(ds.points, 3, 4, seed=5).labels, ds.labels)
+        p_ari = adjusted_rand_index(
+            proclus(ds.points, 3, 4, seed=5, max_bad_tries=20).labels,
+            ds.labels)
+        assert o_ari > p_ari + 0.3
+
+    def test_works_on_axis_parallel_too(self):
+        ds = generate(1500, 12, 3, cluster_dim_counts=[4, 4, 4],
+                      outlier_fraction=0.0, seed=7)
+        result = orclus(ds.points, 3, 4, seed=7)
+        assert adjusted_rand_index(result.labels, ds.labels,
+                                   include_outliers=True) > 0.6
+
+    def test_outlier_factor(self):
+        ds = generate_rotated(1000, 10, 2, cluster_dim_counts=[3, 3],
+                              outlier_fraction=0.1, seed=8)
+        result = orclus(ds.points, 2, 3, outlier_factor=3.0, seed=8)
+        assert result.n_outliers > 0
+
+    def test_parameter_validation(self):
+        X = np.random.default_rng(0).normal(size=(50, 5))
+        with pytest.raises(ParameterError):
+            orclus(X, 2, 5)        # l must be < d
+        with pytest.raises(ParameterError):
+            orclus(X, 2, 2, alpha=1.0)
+        with pytest.raises(ParameterError):
+            orclus(X, 0, 2)
+
+    def test_deterministic(self):
+        ds = generate_rotated(600, 8, 2, cluster_dim_counts=[3, 3], seed=9)
+        a = orclus(ds.points, 2, 3, seed=9)
+        b = orclus(ds.points, 2, 3, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_estimator(self):
+        ds = generate_rotated(600, 8, 2, cluster_dim_counts=[3, 3], seed=10)
+        est = Orclus(k=2, l=3, seed=10).fit(ds.points)
+        assert est.labels_.shape == (600,)
+        assert est.result_.subspace_dimensionality() == 3

@@ -1,0 +1,91 @@
+"""Unit tests for the feature-preselection baseline (Figure 1's strawman)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FeatureSelectionClustering, spread_scores, variance_scores
+from repro.data import generate
+from repro.exceptions import ParameterError
+from repro.metrics import adjusted_rand_index
+from repro import proclus
+
+
+class TestScores:
+    def test_variance_identifies_compact_dims(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([
+            rng.normal(0, 0.1, 500),   # compact
+            rng.uniform(0, 100, 500),  # spread out
+        ])
+        scores = variance_scores(X)
+        assert scores[0] < scores[1]
+
+    def test_spread_scores_robust_to_outliers(self):
+        """A lone extreme value shifts the MAD-about-median score by
+        O(|outlier|/n) but the variance by O(outlier^2/n): the spread
+        score still ranks the compact dimension first where the
+        variance score is fooled."""
+        rng = np.random.default_rng(1)
+        compact_with_outlier = np.append(rng.normal(0, 0.1, 499), 4000.0)
+        spread = rng.uniform(0, 100, 500)
+        X = np.column_stack([compact_with_outlier, spread])
+        assert spread_scores(X)[0] < spread_scores(X)[1]
+        assert variance_scores(X)[0] > variance_scores(X)[1]
+
+
+class TestFeatureSelectionClustering:
+    def test_selects_requested_count(self):
+        ds = generate(500, 10, 2, seed=1)
+        fs = FeatureSelectionClustering(2, 4, seed=1).fit(ds.points)
+        assert fs.selected_dims_.shape == (4,)
+
+    def test_n_features_above_d_rejected(self):
+        ds = generate(100, 5, 2, seed=1)
+        with pytest.raises(ParameterError, match="exceeds"):
+            FeatureSelectionClustering(2, 9).fit(ds.points)
+
+    def test_invalid_scorer_name(self):
+        with pytest.raises(ParameterError, match="scorer"):
+            FeatureSelectionClustering(2, 2, scorer="magic")
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ParameterError, match="algorithm"):
+            FeatureSelectionClustering(2, 2, algorithm="dbscan")
+
+    def test_custom_scorer_callable(self):
+        ds = generate(300, 6, 2, seed=2)
+        fs = FeatureSelectionClustering(
+            2, 3, scorer=lambda X: X.var(axis=0), seed=2,
+        ).fit(ds.points)
+        assert fs.labels_.shape == (300,)
+
+    def test_clarans_backend(self):
+        ds = generate(300, 6, 2, seed=3)
+        fs = FeatureSelectionClustering(2, 3, algorithm="clarans",
+                                        seed=3).fit(ds.points)
+        assert fs.labels_.shape == (300,)
+
+    def test_scorer_shape_validated(self):
+        ds = generate(100, 5, 2, seed=4)
+        with pytest.raises(ParameterError, match="one score per dimension"):
+            FeatureSelectionClustering(
+                2, 2, scorer=lambda X: np.zeros(3)).fit(ds.points)
+
+
+class TestMotivatingFailure:
+    def test_proclus_beats_global_feature_selection(self):
+        """The paper's Figure-1 argument: when clusters correlate in
+        *disjoint* subspaces, one global dimension subset cannot serve
+        both, while PROCLUS recovers the structure."""
+        ds = generate(
+            2000, 12, 2, cluster_dims=[[0, 1, 2], [6, 7, 8]],
+            outlier_fraction=0.0, seed=33,
+        )
+        fs = FeatureSelectionClustering(2, 3, seed=33).fit(ds.points)
+        fs_ari = adjusted_rand_index(fs.labels_, ds.labels,
+                                     include_outliers=True)
+        pc = proclus(ds.points, 2, 3, seed=33, handle_outliers=False)
+        pc_ari = adjusted_rand_index(pc.labels, ds.labels,
+                                     include_outliers=True)
+        assert pc_ari > 0.9
+        assert pc_ari > fs_ari + 0.2

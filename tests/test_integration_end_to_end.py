@@ -1,0 +1,120 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full paper pipeline at small scale: generate a
+workload with known structure, run PROCLUS and the baselines, evaluate
+with the metrics stack, and check the relationships the paper claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Proclus, proclus
+from repro.baselines import Clique, FeatureSelectionClustering, KMeans
+from repro.data import generate
+from repro.metrics import (
+    adjusted_rand_index,
+    confusion_matrix,
+    match_clusters,
+    match_dimension_sets,
+    segmental_silhouette,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Case-1-like workload at small scale with balanced clusters."""
+    return generate(3000, 15, 4, cluster_dim_counts=[6, 6, 6, 6],
+                    outlier_fraction=0.04, seed=70)
+
+
+@pytest.fixture(scope="module")
+def proclus_result(workload):
+    return proclus(workload.points, 4, 6, seed=71, max_bad_tries=30)
+
+
+class TestPaperPipeline:
+    def test_proclus_recovers_partition(self, workload, proclus_result):
+        ari = adjusted_rand_index(proclus_result.labels, workload.labels)
+        assert ari > 0.75
+
+    def test_dimension_recovery(self, workload, proclus_result):
+        cm = confusion_matrix(proclus_result.labels, workload.labels)
+        matching = match_clusters(cm)
+        report = match_dimension_sets(
+            proclus_result.dimensions, workload.cluster_dimensions, matching,
+        )
+        assert report.mean_jaccard > 0.7
+
+    def test_confusion_rows_dominated(self, workload, proclus_result):
+        cm = confusion_matrix(proclus_result.labels, workload.labels)
+        dominances = [cm.dominance(cid) for cid in cm.output_ids]
+        assert np.mean(dominances) > 0.7
+
+    def test_internal_quality_positive(self, workload, proclus_result):
+        s = segmental_silhouette(
+            workload.points, proclus_result.labels, proclus_result.dimensions,
+        )
+        assert s > 0.2
+
+    def test_proclus_beats_full_dimensional_kmeans(self, workload,
+                                                   proclus_result):
+        """The motivating claim: full-dimensional methods miss projected
+        structure that PROCLUS finds."""
+        km = KMeans(4, seed=1).fit(workload.points)
+        km_ari = adjusted_rand_index(km.result_.labels, workload.labels)
+        pc_ari = adjusted_rand_index(proclus_result.labels, workload.labels)
+        assert pc_ari > km_ari
+
+    def test_proclus_beats_feature_preselection(self, workload,
+                                                proclus_result):
+        fs = FeatureSelectionClustering(4, 6, seed=1).fit(workload.points)
+        fs_ari = adjusted_rand_index(fs.labels_, workload.labels)
+        pc_ari = adjusted_rand_index(proclus_result.labels, workload.labels)
+        assert pc_ari > fs_ari
+
+    def test_clique_output_is_not_a_partition(self, workload):
+        """CLIQUE reports overlapping regions across subspaces."""
+        clique = Clique(xi=10, tau=0.01, max_dimensionality=3).fit(
+            workload.points)
+        assert clique.result.average_overlap > 1.0
+
+    def test_estimator_and_function_agree(self, workload):
+        est = Proclus(k=4, l=6, seed=9, max_bad_tries=5).fit(workload.points)
+        fn = proclus(workload.points, 4, 6, seed=9, max_bad_tries=5)
+        assert np.array_equal(est.labels_, fn.labels)
+
+
+class TestRobustness:
+    def test_heavy_outliers(self):
+        """30% outliers must not crash and clusters must still surface."""
+        ds = generate(1500, 10, 3, cluster_dim_counts=[4, 4, 4],
+                      outlier_fraction=0.3, seed=44)
+        result = proclus(ds.points, 3, 4, seed=44, max_bad_tries=20)
+        ari = adjusted_rand_index(result.labels, ds.labels)
+        assert ari > 0.5
+
+    def test_k_larger_than_natural_clusters(self):
+        """Asking for more clusters than exist still yields a valid result."""
+        ds = generate(800, 8, 2, cluster_dim_counts=[3, 3],
+                      outlier_fraction=0.02, seed=45)
+        result = proclus(ds.points, 4, 3, seed=45, max_bad_tries=5)
+        assert set(np.unique(result.labels)) <= {-1, 0, 1, 2, 3}
+        assert sum(len(d) for d in result.dimensions.values()) == 12
+
+    def test_duplicate_points(self):
+        """Many identical points (zero-variance localities) are handled."""
+        rng = np.random.default_rng(3)
+        X = np.vstack([
+            np.tile([10.0, 10.0, 10.0, 10.0], (100, 1)),
+            np.tile([90.0, 90.0, 90.0, 90.0], (100, 1)),
+            rng.uniform(0, 100, size=(50, 4)),
+        ])
+        result = proclus(X, 2, 2, seed=6, max_bad_tries=5)
+        assert result.labels.shape == (250,)
+
+    def test_tiny_dataset(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 100, size=(25, 5))
+        result = proclus(X, 2, 2, seed=1, sample_factor=5, pool_factor=2,
+                         max_bad_tries=3)
+        assert result.labels.shape == (25,)

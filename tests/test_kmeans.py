@@ -1,0 +1,83 @@
+"""Unit tests for k-means (Lloyd + k-means++)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KMeans, kmeans
+from repro.baselines.kmeans import kmeans_pp_init
+from repro.exceptions import ParameterError
+from repro.metrics import purity
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(11)
+    centers = np.array([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0], [40.0, 40.0]])
+    pts = np.vstack([c + rng.normal(0, 1.0, size=(50, 2)) for c in centers])
+    labels = np.repeat([0, 1, 2, 3], 50)
+    return pts, labels
+
+
+class TestKMeansPP:
+    def test_returns_k_centroids(self, blobs):
+        pts, _ = blobs
+        c = kmeans_pp_init(pts, 4, np.random.default_rng(0))
+        assert c.shape == (4, 2)
+
+    def test_spreads_over_blobs(self, blobs):
+        """Seeding should usually land in >= 3 distinct blobs."""
+        pts, true = blobs
+        rng = np.random.default_rng(1)
+        c = kmeans_pp_init(pts, 4, rng)
+        dist = np.linalg.norm(pts[:, None] - c[None], axis=2)
+        blob_hits = {int(true[int(np.argmin(dist[:, j]))]) for j in range(4)}
+        assert len(blob_hits) >= 3
+
+    def test_identical_points_fallback(self):
+        pts = np.zeros((10, 2))
+        c = kmeans_pp_init(pts, 3, np.random.default_rng(2))
+        assert c.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_separates_blobs(self, blobs):
+        pts, true = blobs
+        result = kmeans(pts, 4, seed=3)
+        assert purity(result.labels, true) > 0.95
+
+    def test_inertia_decreases(self, blobs):
+        pts, _ = blobs
+        result = kmeans(pts, 4, n_init=1, seed=3)
+        hist = result.inertia_history
+        assert all(a >= b - 1e-9 for a, b in zip(hist, hist[1:]))
+
+    def test_converged_flag(self, blobs):
+        pts, _ = blobs
+        result = kmeans(pts, 4, max_iter=100, seed=3)
+        assert result.converged
+
+    def test_max_iter_respected(self, blobs):
+        pts, _ = blobs
+        result = kmeans(pts, 4, max_iter=1, n_init=1, seed=3)
+        assert result.n_iterations == 1
+
+    def test_deterministic(self, blobs):
+        pts, _ = blobs
+        a = kmeans(pts, 4, seed=7)
+        b = kmeans(pts, 4, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_negative_tol_rejected(self, blobs):
+        pts, _ = blobs
+        with pytest.raises(ParameterError):
+            kmeans(pts, 2, tol=-1.0)
+
+    def test_no_empty_clusters(self, blobs):
+        pts, _ = blobs
+        result = kmeans(pts, 4, seed=9)
+        assert len(np.unique(result.labels)) == 4
+
+    def test_estimator(self, blobs):
+        pts, true = blobs
+        labels = KMeans(4, seed=1).fit_predict(pts)
+        assert purity(labels, true) > 0.95

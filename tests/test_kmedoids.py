@@ -1,0 +1,93 @@
+"""Unit tests for PAM and CLARANS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CLARANS, PAM, clarans, pam
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    rng = np.random.default_rng(5)
+    centers = np.array([[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]])
+    pts = np.vstack([c + rng.normal(0, 1.0, size=(40, 2)) for c in centers])
+    labels = np.repeat([0, 1, 2], 40)
+    return pts, labels
+
+
+def purity_of(found, true):
+    from repro.metrics import purity
+    return purity(found, true)
+
+
+class TestPam:
+    def test_separates_blobs(self, three_blobs):
+        pts, true = three_blobs
+        result = pam(pts, 3)
+        assert purity_of(result.labels, true) > 0.95
+
+    def test_medoids_are_data_points(self, three_blobs):
+        pts, _ = three_blobs
+        result = pam(pts, 3)
+        assert np.array_equal(result.medoids, pts[result.medoid_indices])
+
+    def test_cost_decreases_through_swaps(self, three_blobs):
+        pts, _ = three_blobs
+        result = pam(pts, 3)
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_k_one(self, three_blobs):
+        pts, _ = three_blobs
+        result = pam(pts, 1)
+        assert result.k == 1
+        assert (result.labels == 0).all()
+
+    def test_k_above_n_rejected(self):
+        with pytest.raises(ParameterError):
+            pam(np.zeros((3, 2)), 4)
+
+    def test_estimator_wrapper(self, three_blobs):
+        pts, true = three_blobs
+        labels = PAM(3).fit_predict(pts)
+        assert purity_of(labels, true) > 0.95
+
+
+class TestClarans:
+    def test_separates_blobs(self, three_blobs):
+        pts, true = three_blobs
+        result = clarans(pts, 3, seed=1)
+        assert purity_of(result.labels, true) > 0.95
+
+    def test_deterministic_given_seed(self, three_blobs):
+        pts, _ = three_blobs
+        a = clarans(pts, 3, seed=9)
+        b = clarans(pts, 3, seed=9)
+        assert np.array_equal(a.medoid_indices, b.medoid_indices)
+
+    def test_cost_close_to_pam(self, three_blobs):
+        """CLARANS should find (near-)PAM-quality local minima here."""
+        pts, _ = three_blobs
+        exact = pam(pts, 3)
+        approx = clarans(pts, 3, num_local=2, seed=2)
+        assert approx.cost <= exact.cost * 1.05
+
+    def test_history_one_entry_per_restart(self, three_blobs):
+        pts, _ = three_blobs
+        result = clarans(pts, 3, num_local=3, seed=3)
+        assert len(result.history) == 3
+
+    def test_cluster_sizes_sum_to_n(self, three_blobs):
+        pts, _ = three_blobs
+        result = clarans(pts, 3, seed=4)
+        assert sum(result.cluster_sizes().values()) == 120
+
+    def test_estimator_wrapper(self, three_blobs):
+        pts, true = three_blobs
+        est = CLARANS(3, seed=5).fit(pts)
+        assert purity_of(est.result_.labels, true) > 0.95
+
+    def test_euclidean_metric_option(self, three_blobs):
+        pts, true = three_blobs
+        result = clarans(pts, 3, metric="euclidean", seed=6)
+        assert purity_of(result.labels, true) > 0.95

@@ -1,0 +1,107 @@
+"""Unit tests for the confusion matrix (paper section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import confusion_from_memberships, confusion_matrix
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        found = np.array([0, 0, 1, 1, -1])
+        true = np.array([1, 1, 0, 1, -1])
+        cm = confusion_matrix(found, true)
+        # rows: found 0, found 1, outliers; cols: true 0, true 1, outliers
+        assert cm.matrix.tolist() == [
+            [0, 2, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+        ]
+
+    def test_total_mass_is_n(self):
+        rng = np.random.default_rng(0)
+        found = rng.integers(-1, 3, 100)
+        true = rng.integers(-1, 4, 100)
+        cm = confusion_matrix(found, true)
+        assert cm.matrix.sum() == 100
+
+    def test_outlier_row_and_column_always_present(self):
+        cm = confusion_matrix(np.array([0, 0]), np.array([0, 0]))
+        assert cm.matrix.shape == (2, 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            confusion_matrix(np.array([0]), np.array([0, 1]))
+
+    def test_dominant_input(self):
+        found = np.array([0, 0, 0, 1])
+        true = np.array([2, 2, 5, 5])
+        cm = confusion_matrix(found, true)
+        assert cm.dominant_input(0) == 2
+        assert cm.dominant_input(1) == 5
+
+    def test_dominance_fraction(self):
+        found = np.array([0, 0, 0, 0])
+        true = np.array([1, 1, 1, 2])
+        cm = confusion_matrix(found, true)
+        assert cm.dominance(0) == pytest.approx(0.75)
+
+    def test_misplaced_fraction(self):
+        found = np.array([0, 0, 0, 1, 1, 1])
+        true = np.array([0, 0, 1, 1, 1, 0])
+        cm = confusion_matrix(found, true)
+        # dominant mass 2 + 2 of 6 cluster-to-cluster points
+        assert cm.misplaced_fraction() == pytest.approx(2 / 6)
+
+    def test_perfect_clustering_zero_misplaced(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        cm = confusion_matrix(labels, labels)
+        assert cm.misplaced_fraction() == 0.0
+
+    def test_table_rendering(self):
+        found = np.array([0, 1, -1])
+        true = np.array([0, 1, -1])
+        text = confusion_matrix(found, true).to_table()
+        assert "Input" in text
+        assert "Outliers" in text
+        assert "Out." in text
+
+
+class TestFromMemberships:
+    def test_overlapping_clusters_double_count(self):
+        true = np.array([0, 0, 1, 1])
+        memberships = [np.array([0, 1, 2]), np.array([2, 3])]
+        cm = confusion_from_memberships(memberships, true)
+        # point 2 (true cluster 1) appears in both rows
+        assert cm.matrix[0].tolist() == [2, 1, 0]
+        assert cm.matrix[1].tolist() == [0, 2, 0]
+
+    def test_uncovered_points_in_outlier_row(self):
+        true = np.array([0, 0, 1])
+        memberships = [np.array([0])]
+        cm = confusion_from_memberships(memberships, true)
+        assert cm.matrix[-1].tolist() == [1, 1, 0]
+
+    def test_n_points_validated(self):
+        with pytest.raises(DataError):
+            confusion_from_memberships([np.array([0])], np.array([0, 1]),
+                                       n_points=5)
+
+
+class TestDominantInputEdge:
+    def test_row_of_pure_outliers_has_no_dominant(self):
+        found = np.array([0, 0])
+        true = np.array([-1, -1])
+        cm = confusion_matrix(found, true)
+        assert cm.dominant_input(0) is None
+
+    def test_dominance_zero_for_empty_row(self):
+        found = np.array([0, 1])
+        true = np.array([0, 0])
+        cm = confusion_matrix(found, true)
+        # both rows populated here; construct an all-outlier row instead
+        found2 = np.array([0, 1, 1])
+        true2 = np.array([0, -1, -1])
+        cm2 = confusion_matrix(found2, true2)
+        assert cm2.dominance(1) == 0.0

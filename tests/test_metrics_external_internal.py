@@ -1,0 +1,120 @@
+"""Unit tests for external indices (ARI/NMI/purity/F1) and internal ones."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import (
+    adjusted_rand_index,
+    normalized_mutual_info,
+    pairwise_f1,
+    projected_objective,
+    purity,
+    segmental_silhouette,
+)
+
+
+LABELS = np.array([0, 0, 0, 1, 1, 1])
+SAME = LABELS
+RELABELED = np.array([1, 1, 1, 0, 0, 0])
+HALF = np.array([0, 0, 1, 1, 1, 1])
+RANDOMISH = np.array([0, 1, 0, 1, 0, 1])
+
+
+class TestAri:
+    def test_identical_is_one(self):
+        assert adjusted_rand_index(SAME, LABELS) == 1.0
+
+    def test_permutation_invariant(self):
+        assert adjusted_rand_index(RELABELED, LABELS) == 1.0
+
+    def test_partial_between(self):
+        v = adjusted_rand_index(HALF, LABELS)
+        assert 0.0 < v < 1.0
+
+    def test_orthogonal_near_zero(self):
+        v = adjusted_rand_index(RANDOMISH, LABELS)
+        assert v < 0.2
+
+    def test_outliers_excluded_by_default(self):
+        found = np.array([0, 0, -1, 1, 1])
+        true = np.array([0, 0, 0, 1, 1])
+        assert adjusted_rand_index(found, true) == 1.0
+
+    def test_outliers_included_on_request(self):
+        found = np.array([0, 0, -1, 1, 1])
+        true = np.array([0, 0, 0, 1, 1])
+        assert adjusted_rand_index(found, true, include_outliers=True) < 1.0
+
+    def test_matches_scipy_free_reference(self):
+        """Cross-check against sklearn's published example values."""
+        assert adjusted_rand_index(
+            np.array([0, 0, 1, 2]), np.array([0, 0, 1, 1])
+        ) == pytest.approx(0.5714285714285714)
+
+
+class TestNmi:
+    def test_identical_is_one(self):
+        assert normalized_mutual_info(SAME, LABELS) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        assert normalized_mutual_info(RELABELED, LABELS) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        v = normalized_mutual_info(HALF, LABELS)
+        assert 0.0 <= v <= 1.0
+
+    def test_single_cluster_degenerate(self):
+        ones = np.zeros(6, dtype=int)
+        assert normalized_mutual_info(ones, ones) == 1.0
+
+
+class TestPurityF1:
+    def test_purity_perfect(self):
+        assert purity(SAME, LABELS) == 1.0
+
+    def test_purity_known_value(self):
+        found = np.array([0, 0, 0, 1, 1, 1])
+        true = np.array([0, 0, 1, 1, 1, 0])
+        assert purity(found, true) == pytest.approx(4 / 6)
+
+    def test_f1_perfect(self):
+        assert pairwise_f1(SAME, LABELS) == pytest.approx(1.0)
+
+    def test_f1_bounds(self):
+        assert 0.0 <= pairwise_f1(HALF, LABELS) <= 1.0
+
+
+class TestInternal:
+    def test_projected_objective_matches_core(self, two_cluster_points):
+        labels = np.repeat([0, 1], 40)
+        dims = {0: (0, 1), 1: (2, 3)}
+        obj = projected_objective(two_cluster_points, labels, dims)
+        assert obj > 0.0
+        # tight planted clusters: dispersion well under 2 (sigma = 0.5)
+        assert obj < 2.0
+
+    def test_silhouette_high_for_planted_structure(self, two_cluster_points):
+        labels = np.repeat([0, 1], 40)
+        dims = {0: (0, 1), 1: (2, 3)}
+        s = segmental_silhouette(two_cluster_points, labels, dims)
+        assert s > 0.5
+
+    def test_silhouette_low_for_shuffled_labels(self, two_cluster_points):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 80)
+        dims = {0: (0, 1), 1: (2, 3)}
+        s = segmental_silhouette(two_cluster_points, labels, dims)
+        assert s < 0.3
+
+    def test_silhouette_needs_two_clusters(self, two_cluster_points):
+        with pytest.raises(DataError):
+            segmental_silhouette(two_cluster_points, np.zeros(80, dtype=int),
+                                 {0: (0, 1)})
+
+    def test_silhouette_ignores_outliers(self, two_cluster_points):
+        labels = np.repeat([0, 1], 40)
+        labels[0] = -1
+        dims = {0: (0, 1), 1: (2, 3)}
+        s = segmental_silhouette(two_cluster_points, labels, dims)
+        assert s > 0.5

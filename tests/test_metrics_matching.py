@@ -1,0 +1,77 @@
+"""Unit tests for cluster matching (Hungarian + greedy)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import confusion_matrix, greedy_match, hungarian_match, match_clusters
+
+
+class TestGreedyMatch:
+    def test_diagonal_dominant(self):
+        m = np.array([[10, 1], [2, 20]])
+        assert greedy_match(m) == {1: 1, 0: 0}
+
+    def test_zero_rows_unmatched(self):
+        m = np.array([[5, 0], [0, 0]])
+        assert greedy_match(m) == {0: 0}
+
+    def test_rectangular(self):
+        m = np.array([[10, 1, 1], [1, 9, 1]])
+        assert greedy_match(m) == {0: 0, 1: 1}
+
+
+class TestHungarianMatch:
+    def test_agrees_with_greedy_on_diagonal(self):
+        m = np.array([[10, 1], [2, 20]])
+        assert hungarian_match(m) == greedy_match(m)
+
+    def test_beats_greedy_when_greedy_is_suboptimal(self):
+        # greedy takes (0,0)=10 then is forced to (1,1)=1 -> total 11;
+        # optimal is (0,1)=9 + (1,0)=9 -> total 18
+        m = np.array([[10, 9], [9, 1]])
+        h = hungarian_match(m)
+        total_h = sum(m[r, c] for r, c in h.items())
+        g = greedy_match(m)
+        total_g = sum(m[r, c] for r, c in g.items())
+        assert total_h >= total_g
+        assert h == {0: 1, 1: 0}
+
+    def test_zero_pairs_never_matched(self):
+        m = np.array([[5, 0], [0, 0]])
+        assert hungarian_match(m) == {0: 0}
+
+
+class TestMatchClusters:
+    def test_maps_cluster_ids_not_positions(self):
+        # output ids {0, 1}; input cluster ids {3, 7}
+        found = np.array([0, 0, 1, 1])
+        true = np.array([3, 3, 7, 7])
+        cm = confusion_matrix(found, true)
+        assert match_clusters(cm) == {0: 3, 1: 7}
+
+    def test_outlier_buckets_excluded(self):
+        found = np.array([0, -1, -1])
+        true = np.array([2, -1, -1])
+        cm = confusion_matrix(found, true)
+        mapping = match_clusters(cm)
+        assert mapping == {0: 2}
+
+    def test_greedy_method_selectable(self):
+        found = np.array([0, 0, 1])
+        true = np.array([0, 0, 1])
+        cm = confusion_matrix(found, true)
+        assert match_clusters(cm, method="greedy") == {0: 0, 1: 1}
+
+    def test_invalid_method(self):
+        found = np.array([0])
+        true = np.array([0])
+        cm = confusion_matrix(found, true)
+        with pytest.raises(ValueError):
+            match_clusters(cm, method="magic")
+
+    def test_pure_outlier_output_cluster_unmatched(self):
+        found = np.array([0, 0, 1, 1])
+        true = np.array([0, 0, -1, -1])
+        cm = confusion_matrix(found, true)
+        mapping = match_clusters(cm)
+        assert 1 not in mapping

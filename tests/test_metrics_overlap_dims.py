@@ -1,0 +1,91 @@
+"""Unit tests for overlap/coverage metrics and dimension recovery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.metrics import (
+    average_overlap,
+    cluster_points_recovered,
+    coverage_fraction,
+    dimension_jaccard,
+    dimension_precision_recall,
+    match_dimension_sets,
+)
+
+
+class TestOverlap:
+    def test_partition_has_overlap_one(self):
+        memberships = [np.array([0, 1]), np.array([2, 3])]
+        assert average_overlap(memberships) == 1.0
+
+    def test_double_reporting(self):
+        memberships = [np.array([0, 1]), np.array([0, 1])]
+        assert average_overlap(memberships) == 2.0
+
+    def test_paper_style_value(self):
+        # 4 points, each in ~3 clusters -> overlap ~3
+        memberships = [np.array([0, 1, 2, 3])] * 3
+        assert average_overlap(memberships) == 3.0
+
+    def test_empty(self):
+        assert average_overlap([]) == 0.0
+        assert average_overlap([np.array([], dtype=int)]) == 0.0
+
+
+class TestCoverage:
+    def test_fraction(self):
+        memberships = [np.array([0, 1]), np.array([1, 2])]
+        assert coverage_fraction(memberships, 10) == pytest.approx(0.3)
+
+    def test_invalid_n(self):
+        with pytest.raises(DataError):
+            coverage_fraction([], 0)
+
+    def test_cluster_points_recovered_excludes_outliers(self):
+        true = np.array([0, 0, 1, -1])
+        memberships = [np.array([0, 3])]  # covers 1 cluster point + 1 outlier
+        assert cluster_points_recovered(memberships, true) == pytest.approx(1 / 3)
+
+    def test_all_recovered(self):
+        true = np.array([0, 1])
+        assert cluster_points_recovered([np.array([0, 1])], true) == 1.0
+
+    def test_no_cluster_points(self):
+        true = np.array([-1, -1])
+        assert cluster_points_recovered([np.array([0])], true) == 0.0
+
+
+class TestDimensionMetrics:
+    def test_precision_recall(self):
+        p, r = dimension_precision_recall([0, 1, 2], [1, 2, 3, 4])
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert dimension_precision_recall([], [1]) == (0.0, 0.0)
+
+    def test_jaccard(self):
+        assert dimension_jaccard([0, 1], [1, 2]) == pytest.approx(1 / 3)
+        assert dimension_jaccard([], []) == 1.0
+        assert dimension_jaccard([0], [0]) == 1.0
+
+    def test_match_report(self):
+        found = {0: (1, 2), 1: (3, 4, 5)}
+        true = {10: (1, 2), 11: (3, 4)}
+        matching = {0: 10, 1: 11}
+        report = match_dimension_sets(found, true, matching)
+        assert report.n_matched == 2
+        assert report.n_exact == 1
+        assert report.exact_match_rate == 0.5
+        assert report.per_cluster[1]["recall"] == 1.0
+        assert report.per_cluster[1]["precision"] == pytest.approx(2 / 3)
+
+    def test_empty_matching(self):
+        report = match_dimension_sets({}, {}, {})
+        assert report.exact_match_rate == 0.0
+        assert report.mean_jaccard == 0.0
+
+    def test_unordered_input_normalised(self):
+        report = match_dimension_sets({0: (2, 1)}, {5: (1, 2)}, {0: 5})
+        assert report.n_exact == 1

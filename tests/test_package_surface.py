@@ -1,0 +1,67 @@
+"""Package-surface tests: public API integrity and documentation.
+
+Guards against silent API breakage: every name in each package's
+``__all__`` must be importable, and every public callable must carry a
+docstring (the library's documentation contract).
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.distance",
+    "repro.data",
+    "repro.baselines",
+    "repro.baselines.clique",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.extensions",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if callable(obj) and not inspect.getdoc(obj):
+            undocumented.append(name)
+    assert not undocumented, f"{package}: missing docstrings on {undocumented}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings(package):
+    module = importlib.import_module(package)
+    assert inspect.getdoc(module), f"{package} lacks a module docstring"
+
+
+def test_version_string():
+    import repro
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_public_classes_have_documented_methods():
+    """Spot-check the flagship classes: public methods documented."""
+    from repro import Proclus, ProclusResult
+    from repro.baselines import Clique
+
+    for cls in (Proclus, ProclusResult, Clique):
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"

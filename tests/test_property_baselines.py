@@ -1,0 +1,105 @@
+"""Property-based tests for the full-dimensional baselines."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import dbscan, kmeans
+from repro.baselines.kmedoids import pam
+
+
+@st.composite
+def point_sets(draw):
+    n = draw(st.integers(min_value=8, max_value=80))
+    d = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-10, 10, size=(n, d)), seed
+
+
+class TestKMeansProperties:
+    @given(point_sets(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_labels_valid_and_inertia_nonnegative(self, ps, k):
+        X, seed = ps
+        k = min(k, X.shape[0])
+        result = kmeans(X, k, n_init=1, max_iter=20, seed=seed)
+        assert result.labels.shape == (X.shape[0],)
+        assert set(np.unique(result.labels)) <= set(range(k))
+        assert result.inertia >= 0.0
+
+    @given(point_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_single_cluster_centroid_is_mean(self, ps):
+        X, seed = ps
+        result = kmeans(X, 1, n_init=1, seed=seed)
+        assert np.allclose(result.centroids[0], X.mean(axis=0), atol=1e-6)
+
+    @given(point_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_monotone_in_k(self, ps):
+        """Best-of-restarts inertia cannot increase when k grows."""
+        X, seed = ps
+        if X.shape[0] < 3:
+            return
+        i1 = kmeans(X, 1, n_init=2, seed=seed).inertia
+        i2 = kmeans(X, min(3, X.shape[0]), n_init=3, seed=seed).inertia
+        assert i2 <= i1 + 1e-6
+
+
+class TestKMedoidsProperties:
+    @given(point_sets(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_pam_contract(self, ps, k):
+        X, seed = ps
+        k = min(k, X.shape[0])
+        result = pam(X, k)
+        assert len(set(result.medoid_indices.tolist())) == k
+        # every point assigned to its closest medoid
+        from repro.distance.matrix import cross_distances
+        dist = cross_distances(X, result.medoids, "manhattan")
+        assert np.array_equal(result.labels, np.argmin(dist, axis=1))
+
+    @given(point_sets())
+    @settings(max_examples=10, deadline=None)
+    def test_pam_is_single_swap_locally_optimal(self, ps):
+        """PAM's SWAP terminates only when no single medoid/non-medoid
+        exchange lowers the cost — the algorithm's actual contract.
+        (CLARANS can still beat PAM from a different start; both are
+        local minima of the same neighbourhood structure.)"""
+        X, seed = ps
+        if X.shape[0] < 6:
+            return
+        from repro.distance.matrix import cross_distances
+        result = pam(X, 2)
+        full = cross_distances(X, X, "manhattan")
+        medoids = result.medoid_indices.tolist()
+        base_cost = full[:, medoids].min(axis=1).sum()
+        for pos in range(2):
+            others = [m for i, m in enumerate(medoids) if i != pos]
+            for cand in range(X.shape[0]):
+                if cand in medoids:
+                    continue
+                trial = others + [cand]
+                trial_cost = full[:, trial].min(axis=1).sum()
+                assert trial_cost >= base_cost - 1e-9
+
+
+class TestDbscanProperties:
+    @given(point_sets(), st.sampled_from([0.5, 2.0, 8.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_labels_contiguous_and_core_points_clustered(self, ps, eps):
+        X, seed = ps
+        result = dbscan(X, eps=eps, min_pts=3)
+        ids = sorted(set(result.labels.tolist()) - {-1})
+        assert ids == list(range(result.n_clusters))
+        # core points always belong to a cluster
+        assert (result.labels[result.core_mask] >= 0).all()
+
+    @given(point_sets())
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_eps(self, ps):
+        """A larger radius can only reduce (or keep) the noise count."""
+        X, seed = ps
+        small = dbscan(X, eps=0.5, min_pts=3)
+        large = dbscan(X, eps=5.0, min_pts=3)
+        assert large.n_noise <= small.n_noise

@@ -1,0 +1,85 @@
+"""Property-based tests for CLIQUE invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.clique import Grid, find_dense_units
+from repro.baselines.clique.apriori import density_threshold
+
+
+@st.composite
+def cell_matrices(draw):
+    """Random small integer cell matrices (as if produced by a grid)."""
+    n = draw(st.integers(min_value=10, max_value=120))
+    d = draw(st.integers(min_value=1, max_value=4))
+    xi = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = np.random.default_rng(seed)
+    # mix of clustered and uniform cells so some units are dense
+    cells = rng.integers(0, xi, size=(n, d))
+    cells[: n // 2] = rng.integers(0, max(1, xi // 2), size=(n // 2, d))
+    return cells, xi
+
+
+class TestDenseUnitInvariants:
+    @given(cell_matrices(), st.sampled_from([0.05, 0.1, 0.3]))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_tau(self, cm, tau):
+        """Raising the threshold can only remove dense units."""
+        cells, xi = cm
+        low = find_dense_units(cells, xi, tau)
+        high = find_dense_units(cells, xi, min(0.9, tau * 3))
+        assert set(high) <= set(low)
+
+    @given(cell_matrices(), st.sampled_from([0.05, 0.15]))
+    @settings(max_examples=30, deadline=None)
+    def test_faces_of_dense_units_dense(self, cm, tau):
+        cells, xi = cm
+        dense = find_dense_units(cells, xi, tau)
+        for u in dense:
+            for face in u.faces():
+                assert face in dense
+
+    @given(cell_matrices(), st.sampled_from([0.05, 0.15]))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_correct(self, cm, tau):
+        """Each unit's recorded support equals a direct recount."""
+        cells, xi = cm
+        dense = find_dense_units(cells, xi, tau)
+        for u, count in list(dense.items())[:20]:
+            mask = np.ones(cells.shape[0], dtype=bool)
+            for dim, interval in zip(u.dims, u.intervals):
+                mask &= cells[:, dim] == interval
+            assert int(mask.sum()) == count
+
+    @given(cell_matrices(), st.sampled_from([0.05, 0.15]))
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_respected(self, cm, tau):
+        cells, xi = cm
+        dense = find_dense_units(cells, xi, tau)
+        threshold = density_threshold(cells.shape[0], tau)
+        assert all(c >= threshold for c in dense.values())
+
+
+class TestGridProperties:
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_cells_in_range_for_any_data(self, xi, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 100, size=(50, 3))
+        cells = Grid(xi).fit_transform(X)
+        assert cells.min() >= 0
+        assert cells.max() < xi
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_cell_counts_partition_points(self, xi, seed):
+        """Every point lands in exactly one cell per dimension, so the
+        per-dimension histograms each sum to N."""
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(-5, 5, size=(80, 2))
+        cells = Grid(xi).fit_transform(X)
+        for j in range(2):
+            assert np.bincount(cells[:, j], minlength=xi).sum() == 80

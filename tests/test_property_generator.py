@@ -1,0 +1,62 @@
+"""Property-based tests for the synthetic generator (paper section 4.1)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import SyntheticConfig, SyntheticDataGenerator
+from repro.data.dataset import OUTLIER_LABEL
+
+
+@st.composite
+def configs(draw):
+    n_dims = draw(st.integers(min_value=3, max_value=15))
+    n_clusters = draw(st.integers(min_value=1, max_value=5))
+    n_points = draw(st.integers(min_value=max(20, n_clusters * 5),
+                                max_value=400))
+    outlier_fraction = draw(st.sampled_from([0.0, 0.05, 0.2]))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return SyntheticConfig(
+        n_points=n_points, n_dims=n_dims, n_clusters=n_clusters,
+        poisson_lambda=3.0, outlier_fraction=outlier_fraction, seed=seed,
+    )
+
+
+@given(configs())
+@settings(max_examples=40, deadline=None)
+def test_partition_invariants(cfg):
+    ds = SyntheticDataGenerator(cfg).generate()
+    # shape
+    assert ds.points.shape == (cfg.n_points, cfg.n_dims)
+    assert ds.labels.shape == (cfg.n_points,)
+    # labels form a partition: every point is outlier or in 0..k-1
+    valid = set(range(cfg.n_clusters)) | {OUTLIER_LABEL}
+    assert set(np.unique(ds.labels)) <= valid
+    # outlier count matches the configured fraction (rounded)
+    assert ds.n_outliers == int(round(cfg.n_points * cfg.outlier_fraction))
+    # every cluster non-empty
+    sizes = ds.cluster_sizes()
+    assert len(sizes) == cfg.n_clusters
+    assert all(s >= 1 for s in sizes.values())
+    # total adds up
+    assert sum(sizes.values()) + ds.n_outliers == cfg.n_points
+
+
+@given(configs())
+@settings(max_examples=40, deadline=None)
+def test_dimension_set_invariants(cfg):
+    ds = SyntheticDataGenerator(cfg).generate()
+    for cid, dims in ds.cluster_dimensions.items():
+        assert 2 <= len(dims) <= cfg.n_dims
+        assert len(set(dims)) == len(dims)
+        assert all(0 <= j < cfg.n_dims for j in dims)
+        assert tuple(sorted(dims)) == dims
+
+
+@given(configs())
+@settings(max_examples=20, deadline=None)
+def test_determinism(cfg):
+    a = SyntheticDataGenerator(cfg).generate()
+    b = SyntheticDataGenerator(cfg).generate()  # fresh generator, same seed
+    assert np.array_equal(a.points, b.points)
+    assert np.array_equal(a.labels, b.labels)
+    assert a.cluster_dimensions == b.cluster_dimensions

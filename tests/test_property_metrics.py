@@ -1,0 +1,93 @@
+"""Property-based tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    adjusted_rand_index,
+    average_overlap,
+    confusion_matrix,
+    normalized_mutual_info,
+    pairwise_f1,
+    purity,
+)
+
+label_arrays = st.integers(min_value=2, max_value=60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(min_value=-1, max_value=4), min_size=n,
+                 max_size=n).map(np.array),
+        st.lists(st.integers(min_value=-1, max_value=4), min_size=n,
+                 max_size=n).map(np.array),
+    )
+)
+
+
+class TestConfusionProperties:
+    @given(label_arrays)
+    @settings(max_examples=60)
+    def test_mass_conserved(self, pair):
+        found, true = pair
+        cm = confusion_matrix(found, true)
+        assert cm.matrix.sum() == found.shape[0]
+
+    @given(label_arrays)
+    @settings(max_examples=60)
+    def test_row_sums_are_cluster_sizes(self, pair):
+        found, true = pair
+        cm = confusion_matrix(found, true)
+        for r, cid in enumerate(cm.output_ids):
+            assert cm.matrix[r].sum() == np.count_nonzero(found == cid)
+
+
+class TestIndexProperties:
+    @given(label_arrays)
+    @settings(max_examples=60)
+    def test_symmetry_of_ari(self, pair):
+        a, b = pair
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    @given(label_arrays)
+    @settings(max_examples=60)
+    def test_bounds(self, pair):
+        a, b = pair
+        assert -1.0 <= adjusted_rand_index(a, b) <= 1.0 + 1e-12
+        assert 0.0 <= normalized_mutual_info(a, b) <= 1.0 + 1e-12
+        assert 0.0 <= purity(a, b) <= 1.0
+        assert 0.0 <= pairwise_f1(a, b) <= 1.0 + 1e-12
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=2,
+                    max_size=50).map(np.array))
+    @settings(max_examples=60)
+    def test_self_comparison_perfect(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+        assert purity(labels, labels) == 1.0
+
+    @given(label_arrays, st.permutations(list(range(5))))
+    @settings(max_examples=60)
+    def test_relabeling_invariance(self, pair, perm):
+        found, true = pair
+        remap = np.array(perm)
+        relabeled = np.where(found >= 0, remap[np.clip(found, 0, 4)], found)
+        assert adjusted_rand_index(found, true) == pytest.approx(
+            adjusted_rand_index(relabeled, true)
+        )
+
+
+class TestOverlapProperties:
+    @given(st.lists(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                 max_size=10).map(lambda l: np.array(sorted(set(l)))),
+        min_size=1, max_size=6,
+    ))
+    @settings(max_examples=60)
+    def test_overlap_at_least_one(self, memberships):
+        assert average_overlap(memberships) >= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=10).map(lambda l: np.array(sorted(set(l)))))
+    @settings(max_examples=40)
+    def test_single_cluster_overlap_exactly_one(self, members):
+        assert average_overlap([members]) == 1.0

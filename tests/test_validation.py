@@ -1,0 +1,139 @@
+"""Unit tests for repro.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, ParameterError
+from repro.validation import (
+    check_array,
+    check_dimension_subset,
+    check_fraction,
+    check_k_l,
+    check_positive_int,
+    check_same_length,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists_to_float64(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_rejects_1d_by_default(self):
+        with pytest.raises(DataError, match="2-dimensional"):
+            check_array([1.0, 2.0, 3.0])
+
+    def test_allow_1d_reshapes_to_row(self):
+        arr = check_array([1.0, 2.0, 3.0], allow_1d=True)
+        assert arr.shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataError, match="ndim=3"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="NaN or infinite"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_min_rows_enforced(self):
+        with pytest.raises(DataError, match="at least 3 row"):
+            check_array([[1.0, 2.0]], min_rows=3)
+
+    def test_min_cols_enforced(self):
+        with pytest.raises(DataError, match="at least 2 column"):
+            check_array([[1.0], [2.0]], min_cols=2)
+
+    def test_result_is_contiguous(self):
+        base = np.zeros((4, 6))[:, ::2]
+        arr = check_array(base)
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestCheckPositiveInt:
+    def test_accepts_numpy_integers(self):
+        assert check_positive_int(np.int64(5), name="x") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(True, name="x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError, match="integer"):
+            check_positive_int(2.5, name="x")
+
+    def test_minimum(self):
+        with pytest.raises(ParameterError, match=">= 2"):
+            check_positive_int(1, name="x", minimum=2)
+
+    def test_maximum(self):
+        with pytest.raises(ParameterError, match="<= 3"):
+            check_positive_int(4, name="x", maximum=3)
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive_by_default(self):
+        assert check_fraction(0.0, name="f") == 0.0
+        assert check_fraction(1.0, name="f") == 1.0
+
+    def test_exclusive_high(self):
+        with pytest.raises(ParameterError):
+            check_fraction(1.0, name="f", inclusive_high=False)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            check_fraction("half", name="f")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            check_fraction(1.5, name="f")
+
+
+class TestCheckKL:
+    def test_valid(self):
+        assert check_k_l(5, 7, n_dims=20) == (5, 7.0)
+
+    def test_l_below_two_rejected(self):
+        with pytest.raises(ParameterError, match=">= 2"):
+            check_k_l(5, 1.5, n_dims=20)
+
+    def test_l_above_d_rejected(self):
+        with pytest.raises(ParameterError, match="<= data dimensionality"):
+            check_k_l(5, 25, n_dims=20)
+
+    def test_fractional_l_with_integral_product_ok(self):
+        k, l = check_k_l(4, 2.5, n_dims=20)
+        assert (k, l) == (4, 2.5)
+
+    def test_non_integral_product_rejected(self):
+        with pytest.raises(ParameterError, match="integral"):
+            check_k_l(3, 2.5, n_dims=20)
+
+    def test_k_exceeding_n_rejected(self):
+        with pytest.raises(ParameterError, match="exceeds"):
+            check_k_l(10, 2, n_dims=20, n_points=5)
+
+
+class TestCheckDimensionSubset:
+    def test_sorts_and_dedups(self):
+        assert check_dimension_subset([3, 1, 3], 5).tolist() == [1, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            check_dimension_subset([], 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            check_dimension_subset([5], 5)
+        with pytest.raises(ParameterError):
+            check_dimension_subset([-1], 5)
+
+
+def test_check_same_length():
+    check_same_length([1, 2], [3, 4])
+    with pytest.raises(DataError, match="equal length"):
+        check_same_length([1], [2, 3], names=("a", "b"))
