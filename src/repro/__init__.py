@@ -11,7 +11,10 @@ The package provides:
 * :mod:`repro.metrics` — confusion matrices, overlap, dimension
   recovery, and external/internal validity indices;
 * :mod:`repro.experiments` — runnable reproductions of every table and
-  figure in the paper's evaluation section.
+  figure in the paper's evaluation section;
+* :mod:`repro.robustness` — input sanitization, wall-clock/memory
+  guards, the graceful-degradation ladder, and a fault-injection
+  harness for chaos testing.
 
 Quickstart::
 
@@ -24,12 +27,16 @@ Quickstart::
 from .core import Proclus, ProclusConfig, ProclusResult, proclus
 from .data import Dataset, OUTLIER_LABEL, SyntheticConfig, generate
 from .exceptions import (
+    BudgetExceededError,
     ConvergenceWarning,
     DataError,
+    DegenerateDataError,
     NotFittedError,
     ParameterError,
     ReproError,
+    SanitizationWarning,
 )
+from .robustness import FaultPlan, SanitizationReport, sanitize
 
 __version__ = "1.0.0"
 
@@ -42,10 +49,16 @@ __all__ = [
     "OUTLIER_LABEL",
     "SyntheticConfig",
     "generate",
+    "sanitize",
+    "SanitizationReport",
+    "FaultPlan",
     "ReproError",
     "ParameterError",
     "DataError",
+    "DegenerateDataError",
     "NotFittedError",
+    "BudgetExceededError",
     "ConvergenceWarning",
+    "SanitizationWarning",
     "__version__",
 ]

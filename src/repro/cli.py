@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 from . import experiments  # noqa: F401 - populates the registry
@@ -30,6 +31,7 @@ from .baselines.clique import Clique
 from .core.proclus import proclus
 from .data.io import load_csv, save_csv
 from .data.synthetic import generate
+from .exceptions import ReproError, SanitizationWarning
 from .experiments.registry import get_experiment, list_experiments
 from .metrics.confusion import confusion_matrix
 from .metrics.external import adjusted_rand_index
@@ -69,6 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--min-deviation", type=float, default=0.1)
     c.add_argument("--no-outliers", action="store_true",
                    help="skip outlier detection in the refinement phase")
+    c.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; on expiry the best-so-far "
+                        "clustering is returned (terminated_by=deadline)")
+    c.add_argument("--on-bad-values", default="drop",
+                   choices=["raise", "drop", "impute_median", "clip"],
+                   help="policy for NaN/inf cells in the input "
+                        "(default: drop the affected rows)")
+    c.add_argument("--no-sanitize", action="store_true",
+                   help="feed the CSV to PROCLUS verbatim: no bad-value "
+                        "handling, no degradation ladder (degenerate "
+                        "input raises)")
 
     s = sub.add_parser("sweep", help="sweep l (and k) to pick parameters")
     s.add_argument("input")
@@ -160,13 +173,20 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
-    ds = load_csv(args.input)
-    result = proclus(
-        ds.points, args.k, args.l,
-        min_deviation=args.min_deviation,
-        handle_outliers=not args.no_outliers,
-        seed=args.seed,
-    )
+    sanitize = not args.no_sanitize
+    ds = load_csv(args.input, allow_nonfinite=sanitize)
+    with warnings.catch_warnings():
+        # the summary below prints result.warnings; no need to emit twice
+        warnings.simplefilter("ignore", SanitizationWarning)
+        result = proclus(
+            ds.points, args.k, args.l,
+            min_deviation=args.min_deviation,
+            handle_outliers=not args.no_outliers,
+            on_bad_values=args.on_bad_values if sanitize else "raise",
+            auto_degrade=sanitize,
+            time_budget_s=args.time_budget,
+            seed=args.seed,
+        )
     print(result.summary())
     if ds.has_ground_truth:
         print()
@@ -247,7 +267,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "list": _cmd_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

@@ -19,12 +19,17 @@ with documented defaults:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Optional, Union
 
 from ..distance.base import Metric
 from ..exceptions import ParameterError
 from ..rng import SeedLike
-from ..validation import check_fraction, check_k_l, check_positive_int
+from ..validation import (
+    check_fraction,
+    check_k_l,
+    check_positive_int,
+    check_time_budget,
+)
 
 __all__ = ["ProclusConfig"]
 
@@ -55,6 +60,11 @@ class ProclusConfig:
         (the paper leaves ``d(.,.)`` generic; default Euclidean).
     min_dims_per_cluster:
         The paper hard-codes 2; configurable for ablations.
+    time_budget_s:
+        Optional wall-clock budget for the fit.  When it expires the
+        hill climbing returns its best-so-far vertex with
+        ``terminated_by="deadline"`` instead of raising.  ``None``
+        (default) means unlimited.
     seed:
         Seed or generator for all randomised steps.
     """
@@ -68,6 +78,7 @@ class ProclusConfig:
     max_iterations: int = 300
     metric: Union[str, Metric] = "euclidean"
     min_dims_per_cluster: int = 2
+    time_budget_s: Optional[float] = None
     seed: SeedLike = None
     extra: dict = field(default_factory=dict)
 
@@ -89,6 +100,7 @@ class ProclusConfig:
         check_positive_int(
             self.min_dims_per_cluster, name="min_dims_per_cluster", minimum=1
         )
+        self.time_budget_s = check_time_budget(self.time_budget_s)
         if self.min_dims_per_cluster > self.l:
             raise ParameterError(
                 f"min_dims_per_cluster={self.min_dims_per_cluster} exceeds l={self.l}"

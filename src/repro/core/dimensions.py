@@ -20,7 +20,13 @@ Degenerate cases handled beyond the paper's pseudocode (all tested):
   always defined;
 * ``sigma_i == 0`` (perfectly isotropic locality) yields a zero Z-row,
   i.e. no dimension of that medoid looks special — ties are broken by
-  the global sort.
+  the global sort;
+* ``exclude_dims`` (the robustness layer's constant-dimension fallback)
+  soft-excludes dimensions from the ranking: a zero-variance dimension
+  has average distance 0 everywhere, which would otherwise make it look
+  maximally "tight" to every cluster.  Excluded dimensions sort last
+  (``+inf`` Z-score) rather than dividing by ``sigma_i = 0`` — they are
+  only picked when nothing else can satisfy the per-cluster floor.
 """
 
 from __future__ import annotations
@@ -166,14 +172,36 @@ def allocate_dimensions(z: np.ndarray, total: int, *,
     return [tuple(sorted(s)) for s in chosen]
 
 
+def _mask_excluded(z: np.ndarray,
+                   exclude_dims: Optional[Sequence[int]]) -> np.ndarray:
+    """Push excluded dimensions to the back of the Z-score ranking.
+
+    Soft exclusion: entries become ``+inf`` so the allocator only picks
+    them once every other dimension is taken.  Exclusions that would
+    leave no rankable dimension are ignored.
+    """
+    if not exclude_dims:
+        return z
+    cols = [j for j in set(int(j) for j in exclude_dims)
+            if 0 <= j < z.shape[1]]
+    if not cols or len(cols) >= z.shape[1]:
+        return z
+    z = z.copy()
+    z[:, cols] = np.inf
+    return z
+
+
 def find_dimensions(X: np.ndarray, medoid_indices: np.ndarray, l: float, *,
                     metric: Union[str, Metric] = "euclidean",
                     min_per_cluster: int = 2,
-                    localities: Optional[Sequence[np.ndarray]] = None) -> DimensionSets:
+                    localities: Optional[Sequence[np.ndarray]] = None,
+                    exclude_dims: Optional[Sequence[int]] = None) -> DimensionSets:
     """The paper's ``FindDimensions`` for a concrete medoid set.
 
     Computes localities (unless given), the ``X_{i,j}`` statistics, the
     Z-scores, and the constrained allocation of ``k*l`` dimensions.
+    ``exclude_dims`` soft-excludes dimensions from the ranking (see the
+    module docstring).
     """
     medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
     k = medoid_indices.size
@@ -184,13 +212,15 @@ def find_dimensions(X: np.ndarray, medoid_indices: np.ndarray, l: float, *,
             min_locality_size=max(2, min_per_cluster),
         )
     stats = dimension_statistics(X, X[medoid_indices], localities)
-    return allocate_dimensions(zscores(stats), total, min_per_row=min_per_cluster)
+    z = _mask_excluded(zscores(stats), exclude_dims)
+    return allocate_dimensions(z, total, min_per_row=min_per_cluster)
 
 
 def find_dimensions_from_clusters(X: np.ndarray, labels: np.ndarray,
                                   medoid_indices: np.ndarray, l: float, *,
                                   min_per_cluster: int = 2,
-                                  fallback: Optional[DimensionSets] = None) -> DimensionSets:
+                                  fallback: Optional[DimensionSets] = None,
+                                  exclude_dims: Optional[Sequence[int]] = None) -> DimensionSets:
     """Refinement-phase variant: statistics from clusters, not localities.
 
     For each medoid the distribution of its *assigned cluster* replaces
@@ -218,7 +248,8 @@ def find_dimensions_from_clusters(X: np.ndarray, labels: np.ndarray,
         groups.append(members)
 
     stats = dimension_statistics(X, X[medoid_indices], groups)
-    sets = allocate_dimensions(zscores(stats), total, min_per_row=min_per_cluster)
+    z = _mask_excluded(zscores(stats), exclude_dims)
+    sets = allocate_dimensions(z, total, min_per_row=min_per_cluster)
     if fallback is not None:
         for i in empty_rows:
             sets[i] = tuple(sorted(fallback[i]))

@@ -10,21 +10,28 @@ the new vertex iff its objective improves.  Bad medoids are:
   points — heuristically an outlier medoid, or one of several medoids
   piercing the same natural cluster.
 
-Termination: ``max_bad_tries`` consecutive non-improving vertices, or
-the ``max_iterations`` safety cap.
+Termination: ``max_bad_tries`` consecutive non-improving vertices, the
+``max_iterations`` safety cap (which emits a
+:class:`~repro.exceptions.ConvergenceWarning` — the search stopped on
+its guard rail, not its criterion), or an expired wall-clock
+:class:`~repro.robustness.guards.Deadline` — the latter returns the
+best-so-far vertex with ``terminated_by="deadline"`` instead of
+raising, so bounded-latency callers always get a usable result.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..distance.base import Metric
-from ..exceptions import ParameterError
+from ..exceptions import ConvergenceWarning, ParameterError
 from ..rng import SeedLike, ensure_rng
+from ..robustness.guards import Deadline
 from ..validation import check_array
 from .assignment import assign_points
 from .dimensions import compute_localities, find_dimensions
@@ -111,11 +118,17 @@ def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
                         max_iterations: int = 300,
                         min_dims_per_cluster: int = 2,
                         seed: SeedLike = None,
-                        keep_history: bool = True) -> IterativePhaseResult:
+                        keep_history: bool = True,
+                        deadline: Optional[Deadline] = None,
+                        exclude_dims: Sequence[int] = ()) -> IterativePhaseResult:
     """Hill-climb to the best medoid set drawn from ``pool``.
 
     Parameters mirror :class:`~repro.core.config.ProclusConfig`;
-    ``pool`` holds candidate medoid indices into ``X``.
+    ``pool`` holds candidate medoid indices into ``X``.  When
+    ``deadline`` expires the best vertex found so far is returned with
+    ``terminated_by="deadline"`` — the first iteration always runs to
+    completion so the result is well-formed.  ``exclude_dims`` is
+    forwarded to :func:`~repro.core.dimensions.find_dimensions`.
     """
     t0 = time.perf_counter()
     X = check_array(X, name="X")
@@ -137,16 +150,29 @@ def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
     tries_without_improvement = 0
     terminated_by = "max_iterations"
 
+    def out_of_time() -> bool:
+        # the first iteration must complete so best_dims/labels are valid
+        return (deadline is not None and bool(best_dims)
+                and deadline.expired())
+
     iteration = 0
     while iteration < max_iterations:
+        if out_of_time():
+            terminated_by = "deadline"
+            break
         iteration += 1
         localities, _ = compute_localities(
             X, current, metric=metric,
             min_locality_size=max(2, min_dims_per_cluster),
         )
+        if out_of_time():
+            terminated_by = "deadline"
+            iteration -= 1  # this vertex was never evaluated
+            break
         dims = find_dimensions(
             X, current, l, metric=metric,
             min_per_cluster=min_dims_per_cluster, localities=localities,
+            exclude_dims=exclude_dims,
         )
         labels = assign_points(X, X[current], dims)
         objective = evaluate_clusters(X, labels, dims)
@@ -181,6 +207,15 @@ def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
             # pool exhausted: no neighbouring vertex remains to try
             terminated_by = "pool_exhausted"
             break
+
+    if terminated_by == "max_iterations":
+        warnings.warn(
+            f"hill climbing stopped at the max_iterations={max_iterations} "
+            f"safety cap after {n_improvements} improvement(s), before "
+            f"reaching {max_bad_tries} consecutive non-improving vertices; "
+            "the medoid search may not have converged",
+            ConvergenceWarning, stacklevel=2,
+        )
 
     return IterativePhaseResult(
         medoid_indices=best_medoids,

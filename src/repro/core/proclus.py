@@ -13,14 +13,23 @@ Example
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+import warnings as _warnings
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..distance.base import Metric
-from ..exceptions import NotFittedError, ParameterError
+from ..exceptions import (
+    DataError,
+    NotFittedError,
+    ParameterError,
+    SanitizationWarning,
+)
 from ..rng import SeedLike, ensure_rng, spawn
+from ..robustness.fallback import kmedoids_fallback, plan_degradation
+from ..robustness.guards import Deadline
+from ..robustness.sanitize import SanitizationReport, sanitize
 from ..validation import check_array
 from .assignment import assign_points
 from .config import ProclusConfig
@@ -33,6 +42,159 @@ from .result import ProclusResult
 __all__ = ["Proclus", "proclus"]
 
 
+def _fit(X: np.ndarray, k: int, l: float, *,
+         sample_factor: int, pool_factor: int, min_deviation: float,
+         max_bad_tries: int, max_iterations: int,
+         metric: Union[str, Metric], min_dims_per_cluster: int,
+         handle_outliers: bool, keep_history: bool, restarts: int,
+         fit_sample_size: Optional[int], seed: SeedLike,
+         deadline: Optional[Deadline],
+         exclude_dims: Sequence[int],
+         notes: List[str]) -> ProclusResult:
+    """Fit on already-sanitized data (the body behind :func:`proclus`)."""
+    if restarts > 1:
+        rng = ensure_rng(seed)
+        best: Optional[ProclusResult] = None
+        children = spawn(rng, restarts)
+        for i, child in enumerate(children):
+            candidate = _fit(
+                X, k, l,
+                sample_factor=sample_factor, pool_factor=pool_factor,
+                min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+                max_iterations=max_iterations, metric=metric,
+                min_dims_per_cluster=min_dims_per_cluster,
+                handle_outliers=handle_outliers, keep_history=keep_history,
+                restarts=1, fit_sample_size=fit_sample_size, seed=child,
+                deadline=deadline, exclude_dims=exclude_dims, notes=notes,
+            )
+            if best is None or candidate.iterative_objective < best.iterative_objective:
+                best = candidate
+            if deadline is not None and deadline.expired() and i + 1 < restarts:
+                notes.append(
+                    f"time budget exhausted after {i + 1} of {restarts} "
+                    "restarts; returning the best completed run"
+                )
+                break
+        return best
+
+    if fit_sample_size is not None and fit_sample_size < X.shape[0]:
+        if fit_sample_size < max(sample_factor, pool_factor) * k:
+            raise ParameterError(
+                f"fit_sample_size={fit_sample_size} is smaller than the "
+                f"initialization needs (A*k = {sample_factor * k})"
+            )
+        rng = ensure_rng(seed)
+        rng_sample, rng_fit = spawn(rng, 2)
+        sample_idx = rng_sample.choice(
+            X.shape[0], size=fit_sample_size, replace=False,
+        )
+        t0 = time.perf_counter()
+        sub = _fit(
+            X[sample_idx], k, l,
+            sample_factor=sample_factor, pool_factor=pool_factor,
+            min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+            max_iterations=max_iterations, metric=metric,
+            min_dims_per_cluster=min_dims_per_cluster,
+            handle_outliers=False, keep_history=keep_history,
+            restarts=1, fit_sample_size=None, seed=rng_fit,
+            deadline=deadline, exclude_dims=exclude_dims, notes=notes,
+        )
+        t_sample_fit = time.perf_counter() - t0
+        # refinement over the FULL database with the sample's medoids
+        t0 = time.perf_counter()
+        medoid_indices = sample_idx[sub.medoid_indices]
+        dim_sets = [sub.dimensions[i] for i in range(k)]
+        full_labels = assign_points(X, X[medoid_indices], dim_sets)
+        refined = refine_clusters(
+            X, full_labels, medoid_indices, l,
+            min_dims_per_cluster=min_dims_per_cluster,
+            fallback_dims=dim_sets,
+            handle_outliers=handle_outliers,
+            exclude_dims=exclude_dims,
+        )
+        objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
+        return ProclusResult(
+            labels=refined.labels,
+            medoids=X[medoid_indices],
+            medoid_indices=medoid_indices,
+            dimensions={i: d for i, d in enumerate(refined.dim_sets)},
+            objective=float(objective),
+            iterative_objective=sub.iterative_objective,
+            n_iterations=sub.n_iterations,
+            n_improvements=sub.n_improvements,
+            objective_history=sub.objective_history,
+            phase_seconds={
+                "sample_fit": t_sample_fit,
+                "refinement": time.perf_counter() - t0,
+            },
+            terminated_by=sub.terminated_by,
+        )
+
+    config = ProclusConfig(
+        k=k, l=l, sample_factor=sample_factor, pool_factor=pool_factor,
+        min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+        max_iterations=max_iterations, metric=metric,
+        min_dims_per_cluster=min_dims_per_cluster,
+        time_budget_s=deadline.budget_s if deadline is not None else None,
+        seed=seed,
+    ).validated(X.shape[0], X.shape[1])
+
+    rng = ensure_rng(config.seed)
+    rng_init, rng_iter = spawn(rng, 2)
+
+    # Phase 1: initialization ------------------------------------------
+    t0 = time.perf_counter()
+    pool = initialize_medoid_pool(
+        X, config.sample_size, config.pool_size,
+        metric=config.metric, seed=rng_init,
+    )
+    t_init = time.perf_counter() - t0
+
+    # Phase 2: iterative hill climbing ---------------------------------
+    phase2 = run_iterative_phase(
+        X, pool, config.k, config.l,
+        metric=config.metric,
+        min_deviation=config.min_deviation,
+        max_bad_tries=config.max_bad_tries,
+        max_iterations=config.max_iterations,
+        min_dims_per_cluster=config.min_dims_per_cluster,
+        seed=rng_iter,
+        keep_history=keep_history,
+        deadline=deadline,
+        exclude_dims=exclude_dims,
+    )
+
+    # Phase 3: refinement ----------------------------------------------
+    t0 = time.perf_counter()
+    refined = refine_clusters(
+        X, phase2.labels, phase2.medoid_indices, config.l,
+        min_dims_per_cluster=config.min_dims_per_cluster,
+        fallback_dims=phase2.dim_sets,
+        handle_outliers=handle_outliers,
+        exclude_dims=exclude_dims,
+    )
+    final_objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
+    t_refine = time.perf_counter() - t0
+
+    return ProclusResult(
+        labels=refined.labels,
+        medoids=X[phase2.medoid_indices],
+        medoid_indices=phase2.medoid_indices,
+        dimensions={i: dims for i, dims in enumerate(refined.dim_sets)},
+        objective=float(final_objective),
+        iterative_objective=float(phase2.objective),
+        n_iterations=phase2.n_iterations,
+        n_improvements=phase2.n_improvements,
+        objective_history=phase2.objective_history,
+        phase_seconds={
+            "initialization": t_init,
+            "iterative": phase2.seconds,
+            "refinement": t_refine,
+        },
+        terminated_by=phase2.terminated_by,
+    )
+
+
 def proclus(X, k: int, l: float, *,
             sample_factor: int = 30, pool_factor: int = 5,
             min_deviation: float = 0.1, max_bad_tries: int = 20,
@@ -43,6 +205,10 @@ def proclus(X, k: int, l: float, *,
             keep_history: bool = True,
             restarts: int = 1,
             fit_sample_size: Optional[int] = None,
+            on_bad_values: str = "raise",
+            collapse_duplicates: bool = False,
+            auto_degrade: bool = False,
+            time_budget_s: Optional[float] = None,
             seed: SeedLike = None) -> ProclusResult:
     """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
 
@@ -71,142 +237,105 @@ def proclus(X, k: int, l: float, *,
         outlier detection) over the *full* data.  Cuts the per-iteration
         O(N·k·d) cost to O(sample·k·d) while the final clustering still
         covers every point.  ``None`` (default) uses all points
-        throughout, as the paper does.
+        throughout, as the paper does.  Composes with ``restarts``:
+        every restart runs in large-database mode on its own subsample.
+    on_bad_values:
+        Policy for NaN/inf cells: ``"raise"`` (default — the historical
+        behaviour), ``"drop"``, ``"impute_median"``, or ``"clip"``.  Any
+        value other than ``"raise"`` runs the sanitization pipeline; the
+        returned labels are always in *original* row indexing, with
+        dropped rows labelled ``-1``.
+    collapse_duplicates:
+        Collapse exact duplicate rows before fitting; every duplicate
+        inherits its representative's label in the returned result.
+    auto_degrade:
+        Enable the graceful-degradation ladder for degenerate inputs:
+        ``k`` is reduced below the number of distinct points, infeasible
+        ``l``/pool factors are clamped, constant dimensions are excluded
+        from the Z-score ranking, and — when projected clustering is
+        impossible — the full-dimensional
+        :func:`~repro.robustness.kmedoids_fallback` is used.  Every
+        adjustment is recorded on ``result.warnings`` and flips
+        ``result.degraded``.  Default off: degenerate inputs raise, as
+        before.
+    time_budget_s:
+        Wall-clock budget for the whole fit.  On expiry the hill
+        climbing returns best-so-far with
+        ``result.terminated_by == "deadline"`` (the first iteration
+        always completes); remaining restarts are skipped.
 
     Other parameters are documented on
     :class:`~repro.core.config.ProclusConfig`.
     """
     if isinstance(X, Dataset):
         X = X.points
-    X = check_array(X, name="X")
     if restarts < 1:
         raise ParameterError(f"restarts must be >= 1; got {restarts}")
-    if restarts > 1:
-        rng = ensure_rng(seed)
-        best: Optional[ProclusResult] = None
-        for child in spawn(rng, restarts):
-            candidate = proclus(
+    deadline = Deadline.start(time_budget_s) if time_budget_s is not None else None
+
+    notes: List[str] = []
+    report: Optional[SanitizationReport] = None
+    exclude_dims: Tuple[int, ...] = ()
+    degraded = False
+
+    if on_bad_values != "raise" or collapse_duplicates or auto_degrade:
+        X, report = sanitize(
+            X, on_bad_values=on_bad_values,
+            collapse_duplicates=collapse_duplicates, warn=False,
+        )
+        notes.extend(report.messages)
+        degraded = degraded or report.changed
+    else:
+        X = check_array(X, name="X")
+
+    use_kmedoids = False
+    if auto_degrade:
+        plan = plan_degradation(
+            X, k, l, sample_factor, pool_factor,
+            min_dims_per_cluster=min_dims_per_cluster,
+            constant_dims=report.constant_dims if report is not None else (),
+        )
+        notes.extend(plan.messages)
+        degraded = degraded or plan.degraded
+        k, l = plan.k, plan.l
+        sample_factor, pool_factor = plan.sample_factor, plan.pool_factor
+        exclude_dims = plan.exclude_dims
+        use_kmedoids = plan.use_kmedoids
+
+    if use_kmedoids:
+        result = kmedoids_fallback(X, k, seed=seed, metric=metric)
+    else:
+        try:
+            result = _fit(
                 X, k, l,
                 sample_factor=sample_factor, pool_factor=pool_factor,
                 min_deviation=min_deviation, max_bad_tries=max_bad_tries,
                 max_iterations=max_iterations, metric=metric,
                 min_dims_per_cluster=min_dims_per_cluster,
                 handle_outliers=handle_outliers, keep_history=keep_history,
-                restarts=1, seed=child,
+                restarts=restarts, fit_sample_size=fit_sample_size,
+                seed=seed, deadline=deadline, exclude_dims=exclude_dims,
+                notes=notes,
             )
-            if best is None or candidate.iterative_objective < best.iterative_objective:
-                best = candidate
-        return best
-
-    if fit_sample_size is not None and fit_sample_size < X.shape[0]:
-        if fit_sample_size < max(sample_factor, pool_factor) * k:
-            raise ParameterError(
-                f"fit_sample_size={fit_sample_size} is smaller than the "
-                f"initialization needs (A*k = {sample_factor * k})"
+        except (ParameterError, DataError) as exc:
+            if not auto_degrade:
+                raise
+            notes.append(
+                f"PROCLUS infeasible on this input ({exc}); falling back "
+                "to full-dimensional k-medoids"
             )
-        rng = ensure_rng(seed)
-        rng_sample, rng_fit = spawn(rng, 2)
-        sample_idx = rng_sample.choice(
-            X.shape[0], size=fit_sample_size, replace=False,
-        )
-        t0 = time.perf_counter()
-        sub = proclus(
-            X[sample_idx], k, l,
-            sample_factor=sample_factor, pool_factor=pool_factor,
-            min_deviation=min_deviation, max_bad_tries=max_bad_tries,
-            max_iterations=max_iterations, metric=metric,
-            min_dims_per_cluster=min_dims_per_cluster,
-            handle_outliers=False, keep_history=keep_history,
-            seed=rng_fit,
-        )
-        t_sample_fit = time.perf_counter() - t0
-        # refinement over the FULL database with the sample's medoids
-        t0 = time.perf_counter()
-        medoid_indices = sample_idx[sub.medoid_indices]
-        dim_sets = [sub.dimensions[i] for i in range(k)]
-        full_labels = assign_points(X, X[medoid_indices], dim_sets)
-        refined = refine_clusters(
-            X, full_labels, medoid_indices, l,
-            min_dims_per_cluster=min_dims_per_cluster,
-            fallback_dims=dim_sets,
-            handle_outliers=handle_outliers,
-        )
-        objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
-        return ProclusResult(
-            labels=refined.labels,
-            medoids=X[medoid_indices],
-            medoid_indices=medoid_indices,
-            dimensions={i: d for i, d in enumerate(refined.dim_sets)},
-            objective=float(objective),
-            iterative_objective=sub.iterative_objective,
-            n_iterations=sub.n_iterations,
-            n_improvements=sub.n_improvements,
-            objective_history=sub.objective_history,
-            phase_seconds={
-                "sample_fit": t_sample_fit,
-                "refinement": time.perf_counter() - t0,
-            },
-            terminated_by=sub.terminated_by,
-        )
+            degraded = True
+            result = kmedoids_fallback(X, k, seed=seed, metric=metric)
 
-    config = ProclusConfig(
-        k=k, l=l, sample_factor=sample_factor, pool_factor=pool_factor,
-        min_deviation=min_deviation, max_bad_tries=max_bad_tries,
-        max_iterations=max_iterations, metric=metric,
-        min_dims_per_cluster=min_dims_per_cluster, seed=seed,
-    ).validated(X.shape[0], X.shape[1])
-
-    rng = ensure_rng(config.seed)
-    rng_init, rng_iter = spawn(rng, 2)
-
-    # Phase 1: initialization ------------------------------------------
-    t0 = time.perf_counter()
-    pool = initialize_medoid_pool(
-        X, config.sample_size, config.pool_size,
-        metric=config.metric, seed=rng_init,
-    )
-    t_init = time.perf_counter() - t0
-
-    # Phase 2: iterative hill climbing ---------------------------------
-    phase2 = run_iterative_phase(
-        X, pool, config.k, config.l,
-        metric=config.metric,
-        min_deviation=config.min_deviation,
-        max_bad_tries=config.max_bad_tries,
-        max_iterations=config.max_iterations,
-        min_dims_per_cluster=config.min_dims_per_cluster,
-        seed=rng_iter,
-        keep_history=keep_history,
-    )
-
-    # Phase 3: refinement ----------------------------------------------
-    t0 = time.perf_counter()
-    refined = refine_clusters(
-        X, phase2.labels, phase2.medoid_indices, config.l,
-        min_dims_per_cluster=config.min_dims_per_cluster,
-        fallback_dims=phase2.dim_sets,
-        handle_outliers=handle_outliers,
-    )
-    final_objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
-    t_refine = time.perf_counter() - t0
-
-    return ProclusResult(
-        labels=refined.labels,
-        medoids=X[phase2.medoid_indices],
-        medoid_indices=phase2.medoid_indices,
-        dimensions={i: dims for i, dims in enumerate(refined.dim_sets)},
-        objective=float(final_objective),
-        iterative_objective=float(phase2.objective),
-        n_iterations=phase2.n_iterations,
-        n_improvements=phase2.n_improvements,
-        objective_history=phase2.objective_history,
-        phase_seconds={
-            "initialization": t_init,
-            "iterative": phase2.seconds,
-            "refinement": t_refine,
-        },
-        terminated_by=phase2.terminated_by,
-    )
+    if report is not None and report.changed:
+        result.labels = report.restore_labels(result.labels)
+        result.medoid_indices = report.restore_indices(result.medoid_indices)
+    result.sanitization = report
+    result.warnings = list(result.warnings) + notes
+    result.degraded = bool(result.degraded or degraded)
+    for msg in notes:
+        _warnings.warn(msg, SanitizationWarning, stacklevel=2)
+    return result
 
 
 class Proclus:
@@ -227,6 +356,11 @@ class Proclus:
                  handle_outliers: bool = True,
                  keep_history: bool = True,
                  restarts: int = 1,
+                 fit_sample_size: Optional[int] = None,
+                 on_bad_values: str = "raise",
+                 collapse_duplicates: bool = False,
+                 auto_degrade: bool = False,
+                 time_budget_s: Optional[float] = None,
                  seed: SeedLike = None):
         self.k = k
         self.l = l
@@ -240,6 +374,11 @@ class Proclus:
         self.handle_outliers = handle_outliers
         self.keep_history = keep_history
         self.restarts = restarts
+        self.fit_sample_size = fit_sample_size
+        self.on_bad_values = on_bad_values
+        self.collapse_duplicates = collapse_duplicates
+        self.auto_degrade = auto_degrade
+        self.time_budget_s = time_budget_s
         self.seed = seed
         self.result_: Optional[ProclusResult] = None
 
@@ -258,6 +397,11 @@ class Proclus:
             handle_outliers=self.handle_outliers,
             keep_history=self.keep_history,
             restarts=self.restarts,
+            fit_sample_size=self.fit_sample_size,
+            on_bad_values=self.on_bad_values,
+            collapse_duplicates=self.collapse_duplicates,
+            auto_degrade=self.auto_degrade,
+            time_budget_s=self.time_budget_s,
             seed=self.seed,
         )
         return self

@@ -69,7 +69,8 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
                     medoid_indices: np.ndarray, l: float, *,
                     min_dims_per_cluster: int = 2,
                     fallback_dims: Optional[Sequence[Sequence[int]]] = None,
-                    handle_outliers: bool = True) -> RefinementResult:
+                    handle_outliers: bool = True,
+                    exclude_dims: Optional[Sequence[int]] = None) -> RefinementResult:
     """Run the full refinement pass and return the final clustering.
 
     Parameters
@@ -83,6 +84,9 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
         empty (cannot be analysed).
     handle_outliers:
         The paper always detects outliers here; switchable for ablation.
+    exclude_dims:
+        Dimensions to soft-exclude from the Z-score ranking (the
+        robustness layer's constant-dimension fallback).
     """
     X = check_array(X, name="X")
     medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
@@ -92,6 +96,7 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
     dims = find_dimensions_from_clusters(
         X, labels, medoid_indices, l,
         min_per_cluster=min_dims_per_cluster, fallback=fallback,
+        exclude_dims=exclude_dims,
     )
     medoids = X[medoid_indices]
     dist = segmental_distance_matrix(X, medoids, dims)

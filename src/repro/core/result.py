@@ -9,11 +9,14 @@ diagnostics.  The experiment harness consumes these objects directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.dataset import OUTLIER_LABEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..robustness.sanitize import SanitizationReport
 
 __all__ = ["ProclusResult"]
 
@@ -48,6 +51,24 @@ class ProclusResult:
     phase_seconds:
         Wall-clock per phase: ``{"initialization": .., "iterative": ..,
         "refinement": ..}``.
+    terminated_by:
+        Why the hill climbing stopped: ``"no_improvement"`` (its
+        convergence criterion), ``"pool_exhausted"``,
+        ``"max_iterations"``, ``"deadline"`` (wall-clock budget hit —
+        best-so-far returned), or ``"fallback_kmedoids"`` (the
+        degradation ladder bottomed out).
+    warnings:
+        Messages from the robustness layer: sanitization actions and
+        every degradation-ladder rung that fired.  Empty for a clean,
+        non-degraded fit.
+    degraded:
+        True when any fallback changed the requested computation
+        (reduced ``k``, clamped factors, k-medoids fallback, ...).
+    sanitization:
+        The :class:`~repro.robustness.sanitize.SanitizationReport` when
+        input sanitization ran, else ``None``.  ``labels`` and
+        ``medoid_indices`` are always in *original* row indexing — the
+        mapping back has already been applied.
     """
 
     labels: np.ndarray
@@ -61,6 +82,9 @@ class ProclusResult:
     objective_history: List[float] = field(default_factory=list)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     terminated_by: str = ""
+    warnings: List[str] = field(default_factory=list)
+    degraded: bool = False
+    sanitization: Optional["SanitizationReport"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +141,8 @@ class ProclusResult:
             "n_improvements": self.n_improvements,
             "terminated_by": self.terminated_by,
             "phase_seconds": dict(self.phase_seconds),
+            "degraded": self.degraded,
+            "warnings": list(self.warnings),
         }
 
     def summary(self) -> str:
@@ -135,6 +161,10 @@ class ProclusResult:
             f"  iterations={self.n_iterations}, improvements="
             f"{self.n_improvements}, stop={self.terminated_by or 'n/a'}"
         )
+        if self.degraded:
+            lines.append("  DEGRADED result (a robustness fallback fired)")
+        for msg in self.warnings:
+            lines.append(f"  warning: {msg}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -37,6 +37,8 @@ def save_result(result: ProclusResult, path: PathLike) -> Path:
         "objective_history": list(result.objective_history),
         "phase_seconds": dict(result.phase_seconds),
         "terminated_by": result.terminated_by,
+        "warnings": list(result.warnings),
+        "degraded": bool(result.degraded),
     }
     np.savez_compressed(
         path,
@@ -76,4 +78,6 @@ def load_result(path: PathLike) -> ProclusResult:
         objective_history=[float(x) for x in meta["objective_history"]],
         phase_seconds={k: float(v) for k, v in meta["phase_seconds"].items()},
         terminated_by=str(meta["terminated_by"]),
+        warnings=[str(m) for m in meta.get("warnings", [])],
+        degraded=bool(meta.get("degraded", False)),
     )

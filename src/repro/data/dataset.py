@@ -39,6 +39,11 @@ class Dataset:
         indices`` giving the subspace each ground-truth cluster lives in.
     name:
         Free-form identifier used in reports.
+    allow_nonfinite:
+        Accept NaN/inf cells in ``points`` instead of raising.  Meant
+        for data destined for the sanitization pipeline
+        (:func:`repro.robustness.sanitize`); the algorithms themselves
+        still require finite input.
     """
 
     points: np.ndarray
@@ -46,9 +51,12 @@ class Dataset:
     cluster_dimensions: Optional[Dict[int, Tuple[int, ...]]] = None
     name: str = "dataset"
     metadata: dict = field(default_factory=dict)
+    allow_nonfinite: bool = False
 
     def __post_init__(self) -> None:
-        self.points = check_array(self.points, name="points")
+        self.points = check_array(
+            self.points, name="points", allow_nonfinite=self.allow_nonfinite
+        )
         if self.labels is not None:
             labels = np.asarray(self.labels)
             if labels.ndim != 1 or labels.shape[0] != self.points.shape[0]:
@@ -138,6 +146,7 @@ class Dataset:
             cluster_dimensions=self.cluster_dimensions,
             name=name or f"{self.name}[subset:{indices.size}]",
             metadata=dict(self.metadata),
+            allow_nonfinite=self.allow_nonfinite,
         )
 
     def without_ground_truth(self) -> "Dataset":
@@ -148,6 +157,7 @@ class Dataset:
             cluster_dimensions=None,
             name=self.name,
             metadata=dict(self.metadata),
+            allow_nonfinite=self.allow_nonfinite,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -45,8 +45,13 @@ def save_csv(dataset: Dataset, path: PathLike) -> Path:
     return path
 
 
-def load_csv(path: PathLike) -> Dataset:
-    """Read a dataset previously written by :func:`save_csv`."""
+def load_csv(path: PathLike, *, allow_nonfinite: bool = False) -> Dataset:
+    """Read a dataset previously written by :func:`save_csv`.
+
+    ``allow_nonfinite=True`` accepts NaN/inf cells (e.g. dirty exports
+    headed for the sanitization pipeline) instead of raising
+    :class:`~repro.exceptions.DataError`.
+    """
     path = Path(path)
     name = path.stem
     cluster_dims = None
@@ -85,6 +90,7 @@ def load_csv(path: PathLike) -> Dataset:
         labels=np.asarray(labels, dtype=np.int64) if has_labels else None,
         cluster_dimensions=cluster_dims,
         name=name,
+        allow_nonfinite=allow_nonfinite,
     )
 
 

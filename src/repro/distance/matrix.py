@@ -5,6 +5,11 @@ farthest-point selection, CLARANS, locality analysis, and cluster
 evaluation all reduce to "distances from a block of points to one or a
 few anchors".  Memory is kept linear in ``n`` by iterating over the
 (small) anchor set rather than materialising 3-D broadcast temporaries.
+
+When even the per-anchor ``O(n * d)`` temporaries would exceed the
+memory budget (see :mod:`repro.robustness.guards`), the kernels fall
+back to row-chunked computation: identical values, peak memory bounded
+by the budget.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..robustness.guards import resolve_row_chunk
 from .base import Metric, get_metric
 
 __all__ = [
@@ -34,25 +40,39 @@ def distances_to_point(X: np.ndarray, p, metric: MetricLike = "euclidean") -> np
 
 
 def cross_distances(X: np.ndarray, anchors: np.ndarray,
-                    metric: MetricLike = "euclidean") -> np.ndarray:
+                    metric: MetricLike = "euclidean", *,
+                    memory_budget_bytes: Optional[int] = None) -> np.ndarray:
     """Matrix of shape ``(n, m)``: distance from each row of ``X`` to each anchor.
 
     ``anchors`` is expected to be small (medoid sets); the loop over
-    anchors keeps peak memory at ``O(n)`` per column.
+    anchors keeps peak memory at ``O(n)`` per column.  When the per-anchor
+    temporaries would exceed ``memory_budget_bytes`` (default:
+    :data:`repro.robustness.guards.DEFAULT_MEMORY_BUDGET_BYTES`), rows
+    are processed in chunks instead — same values, bounded peak memory.
     """
     m = get_metric(metric)
     X = np.asarray(X, dtype=np.float64)
     anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
-    out = np.empty((X.shape[0], anchors.shape[0]), dtype=np.float64)
-    for j, a in enumerate(anchors):
-        out[:, j] = m.pairwise_to_point(X, a)
+    n = X.shape[0]
+    out = np.empty((n, anchors.shape[0]), dtype=np.float64)
+    chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes)
+    if chunk is None:
+        for j, a in enumerate(anchors):
+            out[:, j] = m.pairwise_to_point(X, a)
+        return out
+    for start in range(0, n, chunk):
+        block = X[start:start + chunk]
+        for j, a in enumerate(anchors):
+            out[start:start + chunk, j] = m.pairwise_to_point(block, a)
     return out
 
 
-def pairwise_distances(X: np.ndarray, metric: MetricLike = "euclidean") -> np.ndarray:
+def pairwise_distances(X: np.ndarray, metric: MetricLike = "euclidean", *,
+                       memory_budget_bytes: Optional[int] = None) -> np.ndarray:
     """Symmetric ``(n, n)`` distance matrix among the rows of ``X``."""
     X = np.asarray(X, dtype=np.float64)
-    return cross_distances(X, X, metric)
+    return cross_distances(X, X, metric,
+                           memory_budget_bytes=memory_budget_bytes)
 
 
 def per_dimension_average_distance(X: np.ndarray, p,

@@ -13,8 +13,11 @@ __all__ = [
     "ReproError",
     "ParameterError",
     "DataError",
+    "DegenerateDataError",
     "NotFittedError",
+    "BudgetExceededError",
     "ConvergenceWarning",
+    "SanitizationWarning",
 ]
 
 
@@ -30,9 +33,38 @@ class DataError(ReproError, ValueError):
     """Input data has the wrong shape, dtype, or content (NaN/inf)."""
 
 
+class DegenerateDataError(DataError):
+    """Input data is so degenerate no meaningful clustering exists.
+
+    Raised when even the graceful-degradation ladder cannot proceed:
+    e.g. sanitization dropped every row, a column holds no finite value
+    to impute from, or fewer than two distinct points remain.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A result attribute was requested before ``fit`` was called."""
 
 
+class BudgetExceededError(ReproError, RuntimeError):
+    """A runtime budget (wall-clock or memory) was exceeded.
+
+    Budget guards normally *degrade* (return best-so-far, chunk the
+    computation) instead of raising; this error is reserved for
+    call sites that explicitly request hard enforcement via
+    :meth:`repro.robustness.Deadline.check`.
+    """
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative algorithm stopped on its safety cap, not its criterion."""
+
+
+class SanitizationWarning(UserWarning):
+    """Input sanitization or graceful degradation modified the request.
+
+    Emitted whenever the robustness layer changes data (dropped /
+    imputed / clipped values, collapsed duplicates) or parameters
+    (reduced ``k``, clamped factors, a baseline fallback).  The same
+    messages are recorded on ``ProclusResult.warnings``.
+    """

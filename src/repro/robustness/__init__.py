@@ -1,0 +1,69 @@
+"""Robustness layer: sanitization, budgets, degradation, fault injection.
+
+The PROCLUS reproduction's graceful-degradation subsystem, in four
+parts:
+
+* :mod:`~repro.robustness.sanitize` — configurable input sanitization
+  (:func:`sanitize`) producing a :class:`SanitizationReport` that maps
+  results back to original row indices;
+* :mod:`~repro.robustness.guards` — runtime budget guards: the
+  :class:`Deadline` wall-clock budget honoured by the hill climbing, and
+  the memory-estimate guard behind row-chunked distance kernels;
+* :mod:`~repro.robustness.fallback` — the degradation ladder for
+  degenerate inputs (:func:`plan_degradation`,
+  :func:`kmedoids_fallback`);
+* :mod:`~repro.robustness.faults` — a fault-injection harness
+  (:func:`inject_nan_rows` and friends, composed by :class:`FaultPlan`)
+  used by the chaos test suite.
+
+``guards`` sits at the very bottom of the dependency stack (it is
+imported by :mod:`repro.distance`), so this package must not import
+heavyweight modules at import time — :mod:`.fallback` defers its
+``baselines``/``core`` imports to call time.
+"""
+
+from .faults import (
+    Fault,
+    FaultPlan,
+    inject_constant_dims,
+    inject_duplicates,
+    inject_extreme_scale,
+    inject_nan_rows,
+    standard_fault_matrix,
+    standard_faults,
+)
+from .fallback import (
+    DegradationPlan,
+    distinct_row_count,
+    kmedoids_fallback,
+    plan_degradation,
+)
+from .guards import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    Deadline,
+    estimate_cross_distance_temp_bytes,
+    resolve_row_chunk,
+)
+from .sanitize import BAD_VALUE_POLICIES, SanitizationReport, sanitize
+
+__all__ = [
+    "sanitize",
+    "SanitizationReport",
+    "BAD_VALUE_POLICIES",
+    "Deadline",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "estimate_cross_distance_temp_bytes",
+    "resolve_row_chunk",
+    "DegradationPlan",
+    "plan_degradation",
+    "distinct_row_count",
+    "kmedoids_fallback",
+    "Fault",
+    "FaultPlan",
+    "inject_nan_rows",
+    "inject_duplicates",
+    "inject_constant_dims",
+    "inject_extreme_scale",
+    "standard_faults",
+    "standard_fault_matrix",
+]

@@ -1,0 +1,156 @@
+"""Fault-injection harness for chaos-testing the clustering pipeline.
+
+Each injector takes a clean matrix and returns a *corrupted copy*
+exhibiting one real-world pathology: NaN/inf cells, exact duplicate
+rows, dead (constant) columns, or wildly mis-scaled features.
+:class:`FaultPlan` composes injectors so the chaos suite can exercise
+the full cross-product and assert the library's contract: every
+``proclus()`` call either returns a labelled result or raises a typed
+:class:`~repro.exceptions.ReproError` — never an uncaught numpy error.
+
+The injectors are deterministic given a seed and never mutate their
+input.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rng import SeedLike, ensure_rng
+
+__all__ = [
+    "inject_nan_rows",
+    "inject_duplicates",
+    "inject_constant_dims",
+    "inject_extreme_scale",
+    "Fault",
+    "FaultPlan",
+    "standard_faults",
+    "standard_fault_matrix",
+]
+
+
+def inject_nan_rows(X, fraction: float = 0.05, *, value: float = math.nan,
+                    seed: SeedLike = None) -> np.ndarray:
+    """Poison a fraction of rows with a non-finite cell each.
+
+    ``value`` defaults to NaN; pass ``math.inf`` to simulate overflowed
+    sensor readings instead.
+    """
+    X = np.array(X, dtype=np.float64, copy=True)
+    rng = ensure_rng(seed)
+    n, d = X.shape
+    n_rows = max(1, int(math.ceil(fraction * n)))
+    rows = rng.choice(n, size=min(n_rows, n), replace=False)
+    cols = rng.integers(0, d, size=rows.size)
+    X[rows, cols] = value
+    return X
+
+
+def inject_duplicates(X, fraction: float = 0.3, *,
+                      seed: SeedLike = None) -> np.ndarray:
+    """Append exact copies of randomly chosen rows (``fraction`` of N)."""
+    X = np.asarray(X, dtype=np.float64)
+    rng = ensure_rng(seed)
+    n = X.shape[0]
+    n_dup = max(1, int(math.ceil(fraction * n)))
+    rows = rng.integers(0, n, size=n_dup)
+    return np.vstack([X, X[rows]])
+
+
+def inject_constant_dims(X, n_dims: int = 1, *, value: float = 0.0,
+                         seed: SeedLike = None) -> np.ndarray:
+    """Overwrite random columns with a constant (dead sensors)."""
+    X = np.array(X, dtype=np.float64, copy=True)
+    rng = ensure_rng(seed)
+    d = X.shape[1]
+    cols = rng.choice(d, size=min(n_dims, d), replace=False)
+    X[:, cols] = value
+    return X
+
+
+def inject_extreme_scale(X, factor: float = 1e9, *,
+                         dims: Optional[Sequence[int]] = None,
+                         seed: SeedLike = None) -> np.ndarray:
+    """Multiply some columns by a huge factor (unit mismatches)."""
+    X = np.array(X, dtype=np.float64, copy=True)
+    rng = ensure_rng(seed)
+    d = X.shape[1]
+    if dims is None:
+        dims = rng.choice(d, size=max(1, d // 4), replace=False)
+    X[:, np.asarray(dims, dtype=np.intp)] *= factor
+    return X
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A named, seedable corruption of a data matrix."""
+
+    name: str
+    apply: Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+    def __call__(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Apply the fault to ``X`` using ``rng`` for randomness."""
+        return self.apply(X, rng)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered composition of :class:`Fault` instances.
+
+    ``FaultPlan.apply`` threads one RNG through the sequence so a plan
+    is reproducible from a single seed.
+    """
+
+    faults: Tuple[Fault, ...]
+
+    @property
+    def name(self) -> str:
+        """Readable plan identity, e.g. ``"nan_rows+duplicates"``."""
+        return "+".join(f.name for f in self.faults) or "clean"
+
+    def apply(self, X, *, seed: SeedLike = None) -> np.ndarray:
+        """Run every fault in order on a copy of ``X``."""
+        rng = ensure_rng(seed)
+        X = np.array(X, dtype=np.float64, copy=True)
+        for fault in self.faults:
+            X = fault(X, rng)
+        return X
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.name})"
+
+
+def standard_faults() -> List[Fault]:
+    """The four canonical single faults used by the chaos suite."""
+    return [
+        Fault("nan_rows", lambda X, rng: inject_nan_rows(X, 0.05, seed=rng)),
+        Fault("inf_rows",
+              lambda X, rng: inject_nan_rows(X, 0.03, value=math.inf,
+                                             seed=rng)),
+        Fault("duplicates",
+              lambda X, rng: inject_duplicates(X, 0.3, seed=rng)),
+        Fault("constant_dims",
+              lambda X, rng: inject_constant_dims(X, 2, seed=rng)),
+        Fault("extreme_scale",
+              lambda X, rng: inject_extreme_scale(X, 1e9, seed=rng)),
+    ]
+
+
+def standard_fault_matrix(max_combination: int = 2) -> List[FaultPlan]:
+    """Every combination of standard faults up to ``max_combination``.
+
+    With the default this is 5 singles + 10 pairs = 15 plans; the chaos
+    suite runs ``proclus()`` under each.
+    """
+    faults = standard_faults()
+    plans: List[FaultPlan] = []
+    for r in range(1, max_combination + 1):
+        for combo in itertools.combinations(faults, r):
+            plans.append(FaultPlan(tuple(combo)))
+    return plans

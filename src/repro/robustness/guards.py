@@ -1,0 +1,112 @@
+"""Runtime budget guards: wall-clock deadlines and memory estimates.
+
+Two production concerns the paper never had to face:
+
+* **Latency** — the hill climbing (§2.2) has no bounded runtime; under a
+  service-level deadline the right behaviour is to return the best
+  vertex found so far, not to keep climbing.  :class:`Deadline` carries
+  a wall-clock budget through the pipeline; ``run_iterative_phase``
+  polls it each iteration and terminates with
+  ``terminated_by="deadline"`` instead of raising.
+* **Memory** — distance kernels materialise ``O(n * d)`` temporaries per
+  anchor.  :func:`resolve_row_chunk` estimates that footprint and tells
+  :mod:`repro.distance.matrix` to fall back to row-chunked computation
+  past a threshold, keeping peak memory bounded without changing any
+  numeric result.
+
+This module deliberately imports nothing beyond numpy and the exception
+hierarchy so every other layer (including :mod:`repro.distance`) can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import BudgetExceededError
+from ..validation import check_time_budget
+
+__all__ = [
+    "Deadline",
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "estimate_cross_distance_temp_bytes",
+    "resolve_row_chunk",
+]
+
+#: Soft cap on per-call temporary allocations in the distance kernels.
+#: Past this, :func:`repro.distance.matrix.cross_distances` switches to
+#: row-chunked computation (identical values, bounded peak memory).
+DEFAULT_MEMORY_BUDGET_BYTES: int = 64 * 2**20
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget started at a fixed instant.
+
+    ``budget_s=None`` means unlimited: :meth:`expired` is always false
+    and :meth:`remaining` is ``inf``, so callers can thread a single
+    object through unconditionally.
+    """
+
+    budget_s: Optional[float]
+    started_at: float
+
+    @classmethod
+    def start(cls, budget_s: Optional[float] = None) -> "Deadline":
+        """Validate ``budget_s`` and start the clock now."""
+        return cls(check_time_budget(budget_s), time.perf_counter())
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no budget was set."""
+        return self.budget_s is None
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was started."""
+        return time.perf_counter() - self.started_at
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited; never negative)."""
+        if self.unlimited:
+            return math.inf
+        return max(0.0, self.budget_s - self.elapsed())
+
+    def expired(self) -> bool:
+        """True once the budget has been used up."""
+        return not self.unlimited and self.elapsed() >= self.budget_s
+
+    def check(self, what: str = "operation") -> None:
+        """Hard enforcement: raise :class:`BudgetExceededError` if expired."""
+        if self.expired():
+            raise BudgetExceededError(
+                f"{what} exceeded its time budget of {self.budget_s:g}s "
+                f"(elapsed {self.elapsed():.3f}s)"
+            )
+
+
+def estimate_cross_distance_temp_bytes(n_rows: int, n_cols: int) -> int:
+    """Peak temporary bytes for one anchor pass over an ``(n, d)`` block.
+
+    The Lp kernels allocate a diff array and its elementwise transform —
+    two float64 temporaries of the block's shape.
+    """
+    return int(n_rows) * max(1, int(n_cols)) * 8 * 2
+
+
+def resolve_row_chunk(n_rows: int, n_cols: int,
+                      memory_budget_bytes: Optional[int] = None) -> Optional[int]:
+    """Rows per chunk to keep distance temporaries under budget.
+
+    Returns ``None`` when the whole block fits (the caller should use its
+    unchunked fast path), otherwise the largest row count whose
+    temporaries stay within ``memory_budget_bytes`` (at least 1).
+    """
+    budget = (DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None
+              else int(memory_budget_bytes))
+    if estimate_cross_distance_temp_bytes(n_rows, n_cols) <= budget:
+        return None
+    per_row = estimate_cross_distance_temp_bytes(1, n_cols)
+    return max(1, budget // per_row)

@@ -1,0 +1,317 @@
+"""Configurable input sanitization with a structured report.
+
+Real-world feature matrices arrive with NaN cells, infinite readings,
+exactly-repeated rows, and dead (constant) columns — all of which the
+PROCLUS pipeline silently assumes away.  :func:`sanitize` normalises a
+raw matrix into the clean form the algorithms expect and returns a
+:class:`SanitizationReport` that (a) documents every modification and
+(b) maps results computed on the sanitized matrix back to the original
+row indexing via :meth:`SanitizationReport.restore_labels`.
+
+Policies for non-finite values (``on_bad_values``):
+
+* ``"raise"``  — reject the matrix with :class:`~repro.exceptions.DataError`
+  (the library's historical behaviour);
+* ``"drop"``   — remove rows containing any non-finite value;
+* ``"impute_median"`` — replace each bad cell with its column's median
+  over the finite entries;
+* ``"clip"``   — replace ``+inf``/``-inf`` with the column's finite
+  max/min and NaN with the column median.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    DataError,
+    DegenerateDataError,
+    ParameterError,
+    SanitizationWarning,
+)
+from ..validation import check_array
+
+__all__ = ["sanitize", "SanitizationReport", "BAD_VALUE_POLICIES"]
+
+#: Legal values for ``on_bad_values``.
+BAD_VALUE_POLICIES: Tuple[str, ...] = ("raise", "drop", "impute_median", "clip")
+
+
+@dataclass
+class SanitizationReport:
+    """What :func:`sanitize` did, plus the original-row bookkeeping.
+
+    Attributes
+    ----------
+    n_rows, n_cols:
+        Shape of the *original* matrix.
+    policy:
+        The ``on_bad_values`` policy applied.
+    bad_rows:
+        Original indices of rows that contained non-finite values.
+    n_bad_cells:
+        Count of non-finite cells in the original matrix.
+    dropped_rows:
+        Original indices removed (policy ``"drop"`` only).
+    n_imputed_cells / n_clipped_cells:
+        Cells replaced under ``"impute_median"`` / ``"clip"``.
+    constant_dims:
+        Column indices with zero spread after value handling.
+    n_duplicates_collapsed:
+        Rows removed by duplicate collapsing (0 when disabled).
+    row_map:
+        Length ``n_rows``; for each original row, its index in the
+        sanitized matrix (duplicates map to their representative) or
+        ``-1`` for dropped rows.
+    kept_rows:
+        For each sanitized row, its original index (the representative's
+        index for collapsed duplicate groups).
+    messages:
+        Human-readable description of every modification.
+    """
+
+    n_rows: int
+    n_cols: int
+    policy: str
+    bad_rows: np.ndarray
+    n_bad_cells: int = 0
+    dropped_rows: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp))
+    n_imputed_cells: int = 0
+    n_clipped_cells: int = 0
+    constant_dims: Tuple[int, ...] = ()
+    n_duplicates_collapsed: int = 0
+    row_map: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp))
+    kept_rows: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp))
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def n_rows_out(self) -> int:
+        """Rows in the sanitized matrix."""
+        return int(self.kept_rows.size)
+
+    @property
+    def changed(self) -> bool:
+        """True when the sanitized matrix differs from the input."""
+        return (self.dropped_rows.size > 0 or self.n_imputed_cells > 0
+                or self.n_clipped_cells > 0 or self.n_duplicates_collapsed > 0)
+
+    def restore_labels(self, labels: np.ndarray, *, fill: int = -1) -> np.ndarray:
+        """Map labels over sanitized rows back to the original row order.
+
+        Dropped rows receive ``fill`` (default ``-1``, the library's
+        outlier label); collapsed duplicates inherit their
+        representative's label.
+        """
+        labels = np.asarray(labels)
+        if labels.shape[0] != self.n_rows_out:
+            raise DataError(
+                f"labels has {labels.shape[0]} entries but the sanitized "
+                f"matrix has {self.n_rows_out} rows"
+            )
+        out = np.full(self.n_rows, fill, dtype=labels.dtype)
+        kept = self.row_map >= 0
+        out[kept] = labels[self.row_map[kept]]
+        return out
+
+    def restore_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Map sanitized-row indices (e.g. medoid indices) to original rows."""
+        return self.kept_rows[np.asarray(indices, dtype=np.intp)]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary of the report."""
+        return {
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "n_rows_out": self.n_rows_out,
+            "policy": self.policy,
+            "n_bad_rows": int(self.bad_rows.size),
+            "n_bad_cells": self.n_bad_cells,
+            "n_dropped_rows": int(self.dropped_rows.size),
+            "n_imputed_cells": self.n_imputed_cells,
+            "n_clipped_cells": self.n_clipped_cells,
+            "constant_dims": list(self.constant_dims),
+            "n_duplicates_collapsed": self.n_duplicates_collapsed,
+            "messages": list(self.messages),
+        }
+
+
+def _handle_bad_values(X: np.ndarray, policy: str, report: SanitizationReport,
+                       keep: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply the bad-value policy; returns (values, kept original indices)."""
+    finite = np.isfinite(X)
+    if finite.all():
+        return X, keep
+    bad_rows = np.flatnonzero(~finite.all(axis=1))
+    report.bad_rows = bad_rows
+    report.n_bad_cells = int((~finite).sum())
+
+    if policy == "raise":
+        raise DataError(
+            f"X contains {report.n_bad_cells} NaN/infinite cell(s) in "
+            f"{bad_rows.size} row(s); pass on_bad_values='drop', "
+            "'impute_median', or 'clip' to sanitize"
+        )
+    if policy == "drop":
+        report.dropped_rows = keep[bad_rows]
+        report.messages.append(
+            f"dropped {bad_rows.size} row(s) containing non-finite values"
+        )
+        mask = finite.all(axis=1)
+        if not mask.any():
+            raise DegenerateDataError(
+                "every row contains non-finite values; nothing left after "
+                "on_bad_values='drop'"
+            )
+        return X[mask], keep[mask]
+
+    # impute_median / clip need per-column finite statistics
+    X = X.copy()
+    no_finite = ~finite.any(axis=0)
+    if no_finite.any():
+        raise DegenerateDataError(
+            f"column(s) {np.flatnonzero(no_finite).tolist()} contain no "
+            f"finite value; cannot {policy.replace('_', ' ')}"
+        )
+    for j in np.flatnonzero(~finite.all(axis=0)):
+        col = X[:, j]
+        good = finite[:, j]
+        median = float(np.median(col[good]))
+        if policy == "impute_median":
+            n_fixed = int((~good).sum())
+            col[~good] = median
+            report.n_imputed_cells += n_fixed
+        else:  # clip
+            pos_inf = np.isposinf(col)
+            neg_inf = np.isneginf(col)
+            nan = np.isnan(col)
+            col[pos_inf] = float(col[good].max())
+            col[neg_inf] = float(col[good].min())
+            col[nan] = median
+            report.n_clipped_cells += int(pos_inf.sum() + neg_inf.sum()
+                                          + nan.sum())
+    if policy == "impute_median":
+        report.messages.append(
+            f"imputed {report.n_imputed_cells} non-finite cell(s) with "
+            "column medians"
+        )
+    else:
+        report.messages.append(
+            f"clipped {report.n_clipped_cells} non-finite cell(s) to the "
+            "finite column range"
+        )
+    return X, keep
+
+
+def _collapse_duplicates(X: np.ndarray, keep: np.ndarray,
+                         report: SanitizationReport) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse exact duplicate rows, keeping first occurrences in order.
+
+    Returns (values, kept original indices, per-row position map).
+    """
+    _, first_idx, inverse = np.unique(X, axis=0, return_index=True,
+                                      return_inverse=True)
+    inverse = inverse.ravel()
+    if first_idx.size == X.shape[0]:
+        return X, keep, np.arange(X.shape[0], dtype=np.intp)
+    # representatives ordered by first occurrence, not lexicographically
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size)
+    positions = rank[inverse].astype(np.intp)
+    reps = np.sort(first_idx)
+    n_collapsed = X.shape[0] - first_idx.size
+    report.n_duplicates_collapsed = n_collapsed
+    report.messages.append(
+        f"collapsed {n_collapsed} duplicate row(s) into "
+        f"{first_idx.size} distinct row(s)"
+    )
+    return X[reps], keep[reps], positions
+
+
+def sanitize(X, *, on_bad_values: str = "raise",
+             collapse_duplicates: bool = False,
+             detect_constant_dims: bool = True,
+             warn: bool = True) -> Tuple[np.ndarray, SanitizationReport]:
+    """Normalise a raw matrix into clean algorithm input.
+
+    Parameters
+    ----------
+    X:
+        Array-like ``(n_points, n_dims)``; may contain NaN/inf.
+    on_bad_values:
+        One of :data:`BAD_VALUE_POLICIES` (see module docstring).
+    collapse_duplicates:
+        Replace groups of identical rows with a single representative;
+        :meth:`SanitizationReport.restore_labels` propagates the
+        representative's label back to every group member.
+    detect_constant_dims:
+        Record zero-spread columns on the report (never modifies data).
+    warn:
+        Emit a :class:`~repro.exceptions.SanitizationWarning` per
+        modification in addition to recording it on the report.
+
+    Returns
+    -------
+    (numpy.ndarray, SanitizationReport)
+        The sanitized C-contiguous float64 matrix and the report.
+
+    Raises
+    ------
+    ParameterError
+        Unknown ``on_bad_values`` policy.
+    DataError
+        Non-finite values under ``on_bad_values="raise"``, or malformed
+        shape.
+    DegenerateDataError
+        Sanitization left no usable data (all rows dropped, or a column
+        with no finite value to impute/clip from).
+    """
+    if on_bad_values not in BAD_VALUE_POLICIES:
+        raise ParameterError(
+            f"on_bad_values must be one of {BAD_VALUE_POLICIES}; "
+            f"got {on_bad_values!r}"
+        )
+    X = check_array(X, name="X", allow_nonfinite=True)
+    n_rows, n_cols = X.shape
+    report = SanitizationReport(
+        n_rows=n_rows, n_cols=n_cols, policy=on_bad_values,
+        bad_rows=np.empty(0, dtype=np.intp),
+    )
+    keep = np.arange(n_rows, dtype=np.intp)
+
+    X, keep = _handle_bad_values(X, on_bad_values, report, keep)
+
+    if collapse_duplicates:
+        X, keep, positions = _collapse_duplicates(X, keep, report)
+    else:
+        positions = np.arange(X.shape[0], dtype=np.intp)
+
+    # original row -> sanitized row (or -1 when dropped)
+    row_map = np.full(n_rows, -1, dtype=np.intp)
+    surviving = np.setdiff1d(np.arange(n_rows, dtype=np.intp),
+                             report.dropped_rows, assume_unique=True)
+    row_map[surviving] = positions
+    report.row_map = row_map
+    report.kept_rows = keep
+
+    if detect_constant_dims and X.shape[0] > 0:
+        spread = X.max(axis=0) - X.min(axis=0)
+        constant = np.flatnonzero(spread == 0)
+        if constant.size:
+            report.constant_dims = tuple(int(j) for j in constant)
+            report.messages.append(
+                f"detected {constant.size} constant dimension(s): "
+                f"{list(report.constant_dims)}"
+            )
+
+    if warn:
+        for msg in report.messages:
+            warnings.warn(msg, SanitizationWarning, stacklevel=2)
+    return np.ascontiguousarray(X), report

@@ -22,11 +22,13 @@ __all__ = [
     "check_k_l",
     "check_dimension_subset",
     "check_same_length",
+    "check_time_budget",
 ]
 
 
 def check_array(X, *, name: str = "X", min_rows: int = 1, min_cols: int = 1,
-                allow_1d: bool = False, dtype=np.float64) -> np.ndarray:
+                allow_1d: bool = False, dtype=np.float64,
+                allow_nonfinite: bool = False) -> np.ndarray:
     """Coerce ``X`` to a 2-D float array and validate its contents.
 
     Parameters
@@ -42,6 +44,10 @@ def check_array(X, *, name: str = "X", min_rows: int = 1, min_cols: int = 1,
         Accept a single point given as a 1-D sequence.
     dtype:
         Target dtype (default float64).
+    allow_nonfinite:
+        Skip the NaN/inf content check.  Used by the sanitization
+        pipeline (:mod:`repro.robustness`), which needs the shape checks
+        but handles bad values itself.
 
     Returns
     -------
@@ -71,7 +77,7 @@ def check_array(X, *, name: str = "X", min_rows: int = 1, min_cols: int = 1,
         raise DataError(
             f"{name} must have at least {min_cols} column(s); got {arr.shape[1]}"
         )
-    if not np.all(np.isfinite(arr)):
+    if not allow_nonfinite and not np.all(np.isfinite(arr)):
         raise DataError(f"{name} contains NaN or infinite values")
     return np.ascontiguousarray(arr)
 
@@ -144,6 +150,21 @@ def check_dimension_subset(dims: Iterable[int], n_dims: int, *,
             f"{name} must contain indices in [0, {n_dims - 1}]; got {arr.tolist()}"
         )
     return arr
+
+
+def check_time_budget(value, *, name: str = "time_budget_s"):
+    """Validate an optional wall-clock budget: ``None`` or a float >= 0."""
+    if value is None:
+        return None
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"{name} must be None or a non-negative number; got {value!r}"
+        )
+    if not np.isfinite(value) or value < 0:
+        raise ParameterError(f"{name} must be >= 0 and finite; got {value}")
+    return value
 
 
 def check_same_length(a: Sequence, b: Sequence, *, names=("a", "b")) -> None:

@@ -6,8 +6,9 @@ import pytest
 from repro.core import run_iterative_phase
 from repro.core.iterative import find_bad_medoids, replace_bad_medoids
 from repro.data import generate
-from repro.exceptions import ParameterError
+from repro.exceptions import ConvergenceWarning, ParameterError
 from repro.rng import ensure_rng
+from repro.robustness import Deadline
 
 
 class TestFindBadMedoids:
@@ -97,9 +98,41 @@ class TestRunIterativePhase:
 
     def test_max_iterations_cap(self, dataset):
         pool = np.arange(0, 800, 40)
-        out = run_iterative_phase(dataset.points, pool, k=3, l=4,
-                                  max_iterations=2, max_bad_tries=50, seed=5)
+        with pytest.warns(ConvergenceWarning, match="max_iterations=2"):
+            out = run_iterative_phase(dataset.points, pool, k=3, l=4,
+                                      max_iterations=2, max_bad_tries=50,
+                                      seed=5)
         assert out.n_iterations <= 2
+        assert out.terminated_by == "max_iterations"
+
+    def test_no_warning_on_clean_convergence(self, dataset, recwarn):
+        pool = np.arange(0, 800, 40)
+        out = run_iterative_phase(dataset.points, pool, k=3, l=4, seed=5)
+        assert out.terminated_by != "max_iterations"
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, ConvergenceWarning)]
+
+    def test_deadline_returns_best_so_far(self, dataset):
+        pool = np.arange(0, 800, 40)
+        out = run_iterative_phase(
+            dataset.points, pool, k=3, l=4, seed=5,
+            max_bad_tries=10**6, max_iterations=10**6,
+            deadline=Deadline.start(0.0),
+        )
+        assert out.terminated_by == "deadline"
+        # the first iteration always completes, so the result is usable
+        assert out.n_iterations >= 1
+        assert len(out.dim_sets) == 3
+        assert out.labels.shape == (800,)
+        assert np.isfinite(out.objective)
+
+    def test_unlimited_deadline_harmless(self, dataset):
+        pool = np.arange(0, 800, 40)
+        a = run_iterative_phase(dataset.points, pool, k=3, l=4, seed=9)
+        b = run_iterative_phase(dataset.points, pool, k=3, l=4, seed=9,
+                                deadline=Deadline.start(None))
+        assert np.array_equal(a.medoid_indices, b.medoid_indices)
+        assert a.objective == b.objective
 
     def test_dimension_budget_respected(self, dataset):
         pool = np.arange(0, 800, 40)

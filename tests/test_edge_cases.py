@@ -196,6 +196,55 @@ class TestEvaluateEdges:
         assert segmental_distance([1, 2, 3], [1, 2, 3], [0, 2]) == 0.0
 
 
+class TestRobustnessEdges:
+    @pytest.mark.filterwarnings("ignore::repro.exceptions.SanitizationWarning")
+    def test_n_equals_k(self):
+        """k == N: infeasible as asked (the pool needs B*k <= N points);
+        raises plainly, degrades gracefully when allowed."""
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 100, size=(12, 5))
+        with pytest.raises(ParameterError):
+            proclus(X, 12, 2, seed=0)
+        result = proclus(X, 12, 2, seed=0, auto_degrade=True)
+        assert result.degraded
+        assert result.k < 12
+        assert result.labels.shape == (12,)
+
+    @pytest.mark.filterwarnings("ignore::repro.exceptions.SanitizationWarning")
+    def test_all_duplicates_dataset(self):
+        """Every row identical: one distinct point — only the k-medoids
+        rung of the ladder can serve this."""
+        X = np.tile([3.0, 1.0, 4.0, 1.0], (50, 1))
+        result = proclus(X, 3, 2, seed=0, auto_degrade=True,
+                         collapse_duplicates=True)
+        assert result.degraded
+        assert result.labels.shape == (50,)
+        assert set(np.unique(result.labels)) <= {-1, 0}
+
+    @pytest.mark.filterwarnings("ignore::repro.exceptions.SanitizationWarning")
+    def test_single_varying_column(self):
+        """All but one dimension constant; the constant dims cannot all
+        be excluded (the >=2-dims floor) but nothing may crash."""
+        rng = np.random.default_rng(8)
+        X = np.full((200, 6), 5.0)
+        X[:, 2] = rng.uniform(0, 100, size=200)
+        result = proclus(X, 2, 2, seed=1, max_bad_tries=3,
+                         keep_history=False, auto_degrade=True)
+        assert result.labels.shape == (200,)
+        assert np.isfinite(result.objective)
+
+    def test_predict_far_outside_training_range(self):
+        """predict() on points far beyond the training envelope must
+        return valid cluster ids (no outlier logic, no overflow)."""
+        ds = generate(400, 8, 2, cluster_dim_counts=[3, 3], seed=9)
+        est = Proclus(k=2, l=3, seed=9, max_bad_tries=3,
+                      keep_history=False).fit(ds.points)
+        far = np.array([[1e9] * 8, [-1e9] * 8, [1e12] * 8])
+        labels = est.predict(far)
+        assert labels.shape == (3,)
+        assert set(labels.tolist()) <= {0, 1}
+
+
 class TestDatasetEdges:
     def test_single_point_dataset(self):
         ds = Dataset(points=np.array([[1.0, 2.0]]))

@@ -7,6 +7,7 @@ from the data.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import proclus
@@ -26,6 +27,7 @@ def workloads(draw):
 
 @given(workloads())
 @settings(max_examples=15, deadline=None)
+@pytest.mark.filterwarnings("ignore::repro.exceptions.ConvergenceWarning")
 def test_structural_contract(workload):
     X, k, l, seed = workload
     result = proclus(X, k, l, seed=seed, max_bad_tries=3, max_iterations=10,
@@ -51,6 +53,7 @@ def test_structural_contract(workload):
 
 @given(workloads())
 @settings(max_examples=8, deadline=None)
+@pytest.mark.filterwarnings("ignore::repro.exceptions.ConvergenceWarning")
 def test_seed_determinism(workload):
     X, k, l, seed = workload
     kwargs = dict(seed=seed, max_bad_tries=3, max_iterations=8,

@@ -55,3 +55,23 @@ class TestRestarts:
         a = proclus(workload.points, 3, 4, seed=11, restarts=3, **FAST)
         b = proclus(workload.points, 3, 4, seed=11, restarts=3, **FAST)
         assert np.array_equal(a.labels, b.labels)
+
+    def test_restarts_forward_fit_sample_size(self, workload):
+        """Regression: the restart recursion used to silently drop
+        fit_sample_size, so every child ran on the full data.  Each
+        child must run in large-database mode (its phase timings carry
+        the sample_fit key) and match the best child run directly."""
+        from repro.rng import ensure_rng, spawn
+        multi = proclus(workload.points, 3, 4, seed=21, restarts=3,
+                        fit_sample_size=300, **FAST)
+        assert "sample_fit" in multi.phase_seconds
+        children = spawn(ensure_rng(21), 3)
+        singles = [
+            proclus(workload.points, 3, 4, seed=c, restarts=1,
+                    fit_sample_size=300, **FAST)
+            for c in children
+        ]
+        best = min(singles, key=lambda s: s.iterative_objective)
+        assert multi.iterative_objective == pytest.approx(
+            best.iterative_objective)
+        assert np.array_equal(multi.labels, best.labels)
