@@ -27,8 +27,10 @@ Use :class:`~repro.core.proclus.Proclus` (estimator API) or
 from .assignment import assign_points
 from .config import ProclusConfig
 from .diagnostics import (
+    CacheReport,
     LocalityReport,
     PiercingReport,
+    cache_report,
     locality_report,
     piercing_report,
 )
@@ -71,6 +73,8 @@ __all__ = [
     "PiercingReport",
     "locality_report",
     "LocalityReport",
+    "cache_report",
+    "CacheReport",
     "save_result",
     "load_result",
     "sweep_l",

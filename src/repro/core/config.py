@@ -65,6 +65,11 @@ class ProclusConfig:
         hill climbing returns its best-so-far vertex with
         ``terminated_by="deadline"`` instead of raising.  ``None``
         (default) means unlimited.
+    cache:
+        Enable the incremental per-medoid distance cache
+        (:class:`~repro.perf.cache.IterativeCache`) in the iterative
+        and refinement phases.  Default on; results are bit-identical
+        either way, only the wall clock changes.
     seed:
         Seed or generator for all randomised steps.
     """
@@ -79,6 +84,7 @@ class ProclusConfig:
     metric: Union[str, Metric] = "euclidean"
     min_dims_per_cluster: int = 2
     time_budget_s: Optional[float] = None
+    cache: bool = True
     seed: SeedLike = None
     extra: dict = field(default_factory=dict)
 
@@ -101,6 +107,7 @@ class ProclusConfig:
             self.min_dims_per_cluster, name="min_dims_per_cluster", minimum=1
         )
         self.time_budget_s = check_time_budget(self.time_budget_s)
+        self.cache = bool(self.cache)
         if self.min_dims_per_cluster > self.l:
             raise ParameterError(
                 f"min_dims_per_cluster={self.min_dims_per_cluster} exceeds l={self.l}"

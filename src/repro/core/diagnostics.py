@@ -15,7 +15,7 @@ users debugging a bad clustering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from ..validation import check_array
 from .dimensions import compute_localities
 
 __all__ = ["PiercingReport", "piercing_report", "LocalityReport",
-           "locality_report"]
+           "locality_report", "CacheReport", "cache_report"]
 
 
 @dataclass
@@ -130,4 +130,67 @@ def locality_report(X, medoid_indices: Sequence[int], *,
         sizes=tuple(len(loc) for loc in localities),
         deltas=tuple(float(d) for d in deltas),
         expected_random=X.shape[0] / medoid_indices.size,
+    )
+
+
+@dataclass
+class CacheReport:
+    """Aggregated view of the incremental distance cache's counters.
+
+    Built from ``result.cache_stats`` (or
+    :meth:`repro.perf.IterativeCache.stats_dict`); answers "did the
+    cache actually pay off on this run?".
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    bytes_held: int
+    budget_bytes: int
+    per_store: Dict[str, Dict[str, float]]
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes across all stores."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall fraction of probes served from cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def thrashing(self) -> bool:
+        """True when evictions outnumber hits — the budget is too small
+        for the working set and the cache is mostly churning."""
+        return self.evictions > self.hits
+
+    def to_text(self) -> str:
+        """One-line verdict plus per-store hit rates."""
+        stores = ", ".join(
+            f"{name}={s.get('hit_rate', 0.0):.0%}"
+            for name, s in sorted(self.per_store.items())
+        )
+        verdict = "THRASHING (raise the memory budget)" if self.thrashing \
+            else f"{self.hit_rate:.0%} overall hit rate"
+        return (
+            f"cache: {verdict}; per store [{stores}]; "
+            f"{self.bytes_held >> 10} KiB held of "
+            f"{self.budget_bytes >> 20} MiB budget"
+        )
+
+
+def cache_report(stats: Optional[Mapping[str, Mapping[str, float]]]) -> Optional[CacheReport]:
+    """Summarise ``result.cache_stats``; ``None`` for uncached runs."""
+    if stats is None:
+        return None
+    memory = stats.get("memory", {})
+    stores = {name: dict(s) for name, s in stats.items() if name != "memory"}
+    return CacheReport(
+        hits=int(sum(s.get("hits", 0) for s in stores.values())),
+        misses=int(sum(s.get("misses", 0) for s in stores.values())),
+        evictions=int(sum(s.get("evictions", 0) for s in stores.values())),
+        bytes_held=int(memory.get("bytes", 0)),
+        budget_bytes=int(memory.get("budget_bytes", 0)),
+        per_store=stores,
     )

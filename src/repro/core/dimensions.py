@@ -31,7 +31,7 @@ Degenerate cases handled beyond the paper's pseudocode (all tested):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from ..distance.base import Metric
 from ..distance.matrix import cross_distances, per_dimension_average_distance
 from ..exceptions import ParameterError
 from ..validation import check_array
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..perf.cache import IterativeCache
 
 __all__ = [
     "compute_localities",
@@ -54,7 +57,8 @@ DimensionSets = List[Tuple[int, ...]]
 
 def compute_localities(X: np.ndarray, medoid_indices: np.ndarray, *,
                        metric: Union[str, Metric] = "euclidean",
-                       min_locality_size: int = 2) -> Tuple[List[np.ndarray], np.ndarray]:
+                       min_locality_size: int = 2,
+                       cache: Optional["IterativeCache"] = None) -> Tuple[List[np.ndarray], np.ndarray]:
     """Locality point-index sets and radii for each medoid.
 
     Returns
@@ -65,20 +69,35 @@ def compute_localities(X: np.ndarray, medoid_indices: np.ndarray, *,
         the medoid itself excluded.  ``deltas[i]`` is the radius.  When
         fewer than ``min_locality_size`` points qualify, the nearest
         ``min_locality_size`` non-medoid points are used instead.
+
+    With a :class:`~repro.perf.cache.IterativeCache`, distance columns
+    and member sets of medoids unchanged since the previous vertex are
+    reused instead of recomputed; results are bit-identical either way.
     """
     X = check_array(X, name="X")
     medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
     k = medoid_indices.size
     if k < 2:
         raise ParameterError("localities need at least 2 medoids")
-    medoids = X[medoid_indices]
-    med_dist = cross_distances(medoids, medoids, metric)
+    if cache is not None:
+        point_dist = cache.distance_columns(X, medoid_indices, metric)  # (N, k)
+        med_dist = point_dist[medoid_indices].copy()
+    else:
+        medoids = X[medoid_indices]
+        med_dist = cross_distances(medoids, medoids, metric)
+        point_dist = cross_distances(X, medoids, metric)  # (N, k)
     np.fill_diagonal(med_dist, np.inf)
     deltas = med_dist.min(axis=1)
 
-    point_dist = cross_distances(X, medoids, metric)  # (N, k)
     localities: List[np.ndarray] = []
     for i in range(k):
+        if cache is not None:
+            members = cache.locality_members(
+                medoid_indices[i], deltas[i], min_locality_size, metric
+            )
+            if members is not None:
+                localities.append(members)
+                continue
         dist_i = point_dist[:, i]
         mask = dist_i <= deltas[i]
         mask[medoid_indices[i]] = False
@@ -87,6 +106,11 @@ def compute_localities(X: np.ndarray, medoid_indices: np.ndarray, *,
             order = np.argsort(dist_i, kind="stable")
             order = order[order != medoid_indices[i]]
             members = order[:min_locality_size]
+        if cache is not None:
+            cache.store_locality_members(
+                medoid_indices[i], deltas[i], min_locality_size, metric,
+                members,
+            )
         localities.append(members)
     return localities, deltas
 
@@ -195,23 +219,34 @@ def find_dimensions(X: np.ndarray, medoid_indices: np.ndarray, l: float, *,
                     metric: Union[str, Metric] = "euclidean",
                     min_per_cluster: int = 2,
                     localities: Optional[Sequence[np.ndarray]] = None,
-                    exclude_dims: Optional[Sequence[int]] = None) -> DimensionSets:
+                    exclude_dims: Optional[Sequence[int]] = None,
+                    cache: Optional["IterativeCache"] = None,
+                    deltas: Optional[np.ndarray] = None) -> DimensionSets:
     """The paper's ``FindDimensions`` for a concrete medoid set.
 
     Computes localities (unless given), the ``X_{i,j}`` statistics, the
     Z-scores, and the constrained allocation of ``k*l`` dimensions.
     ``exclude_dims`` soft-excludes dimensions from the ranking (see the
-    module docstring).
+    module docstring).  With ``cache`` and the ``deltas`` that produced
+    ``localities``, statistic rows of medoids whose locality is
+    unchanged since the previous vertex are reused (bit-identical).
     """
     medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
     k = medoid_indices.size
     total = int(round(k * l))
     if localities is None:
-        localities, _ = compute_localities(
+        localities, deltas = compute_localities(
             X, medoid_indices, metric=metric,
             min_locality_size=max(2, min_per_cluster),
+            cache=cache,
         )
-    stats = dimension_statistics(X, X[medoid_indices], localities)
+    if cache is not None and deltas is not None:
+        stats = cache.dimension_stats(
+            X, medoid_indices, localities, deltas,
+            min_size=max(2, min_per_cluster), metric=metric,
+        )
+    else:
+        stats = dimension_statistics(X, X[medoid_indices], localities)
     z = _mask_excluded(zscores(stats), exclude_dims)
     return allocate_dimensions(z, total, min_per_row=min_per_cluster)
 

@@ -26,6 +26,7 @@ from ..exceptions import (
     ParameterError,
     SanitizationWarning,
 )
+from ..perf.cache import IterativeCache
 from ..rng import SeedLike, ensure_rng, spawn
 from ..robustness.fallback import kmedoids_fallback, plan_degradation
 from ..robustness.guards import Deadline
@@ -50,7 +51,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
          fit_sample_size: Optional[int], seed: SeedLike,
          deadline: Optional[Deadline],
          exclude_dims: Sequence[int],
-         notes: List[str]) -> ProclusResult:
+         notes: List[str], cache: bool = True) -> ProclusResult:
     """Fit on already-sanitized data (the body behind :func:`proclus`)."""
     if restarts > 1:
         rng = ensure_rng(seed)
@@ -66,6 +67,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
                 handle_outliers=handle_outliers, keep_history=keep_history,
                 restarts=1, fit_sample_size=fit_sample_size, seed=child,
                 deadline=deadline, exclude_dims=exclude_dims, notes=notes,
+                cache=cache,
             )
             if best is None or candidate.iterative_objective < best.iterative_objective:
                 best = candidate
@@ -98,19 +100,27 @@ def _fit(X: np.ndarray, k: int, l: float, *,
             handle_outliers=False, keep_history=keep_history,
             restarts=1, fit_sample_size=None, seed=rng_fit,
             deadline=deadline, exclude_dims=exclude_dims, notes=notes,
+            cache=cache,
         )
         t_sample_fit = time.perf_counter() - t0
-        # refinement over the FULL database with the sample's medoids
+        # refinement over the FULL database with the sample's medoids.
+        # The sample fit's cache is bound to the subsample, so the full
+        # pass gets a fresh one (assignment + refinement share columns
+        # for medoids whose dimension set survives).
         t0 = time.perf_counter()
+        cache_obj = IterativeCache() if cache else None
         medoid_indices = sample_idx[sub.medoid_indices]
         dim_sets = [sub.dimensions[i] for i in range(k)]
-        full_labels = assign_points(X, X[medoid_indices], dim_sets)
+        full_labels = assign_points(X, X[medoid_indices], dim_sets,
+                                    cache=cache_obj,
+                                    medoid_indices=medoid_indices)
         refined = refine_clusters(
             X, full_labels, medoid_indices, l,
             min_dims_per_cluster=min_dims_per_cluster,
             fallback_dims=dim_sets,
             handle_outliers=handle_outliers,
             exclude_dims=exclude_dims,
+            cache=cache_obj,
         )
         objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
         return ProclusResult(
@@ -128,6 +138,8 @@ def _fit(X: np.ndarray, k: int, l: float, *,
                 "refinement": time.perf_counter() - t0,
             },
             terminated_by=sub.terminated_by,
+            cache_stats=(cache_obj.stats_dict()
+                         if cache_obj is not None else None),
         )
 
     config = ProclusConfig(
@@ -136,6 +148,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
         max_iterations=max_iterations, metric=metric,
         min_dims_per_cluster=min_dims_per_cluster,
         time_budget_s=deadline.budget_s if deadline is not None else None,
+        cache=cache,
         seed=seed,
     ).validated(X.shape[0], X.shape[1])
 
@@ -151,6 +164,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
     t_init = time.perf_counter() - t0
 
     # Phase 2: iterative hill climbing ---------------------------------
+    cache_obj = IterativeCache() if config.cache else None
     phase2 = run_iterative_phase(
         X, pool, config.k, config.l,
         metric=config.metric,
@@ -162,6 +176,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
         keep_history=keep_history,
         deadline=deadline,
         exclude_dims=exclude_dims,
+        cache=cache_obj,
     )
 
     # Phase 3: refinement ----------------------------------------------
@@ -172,6 +187,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
         fallback_dims=phase2.dim_sets,
         handle_outliers=handle_outliers,
         exclude_dims=exclude_dims,
+        cache=cache_obj,
     )
     final_objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
     t_refine = time.perf_counter() - t0
@@ -192,6 +208,8 @@ def _fit(X: np.ndarray, k: int, l: float, *,
             "refinement": t_refine,
         },
         terminated_by=phase2.terminated_by,
+        cache_stats=(cache_obj.stats_dict()
+                     if cache_obj is not None else None),
     )
 
 
@@ -209,6 +227,7 @@ def proclus(X, k: int, l: float, *,
             collapse_duplicates: bool = False,
             auto_degrade: bool = False,
             time_budget_s: Optional[float] = None,
+            cache: bool = True,
             seed: SeedLike = None) -> ProclusResult:
     """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
 
@@ -263,6 +282,14 @@ def proclus(X, k: int, l: float, *,
         climbing returns best-so-far with
         ``result.terminated_by == "deadline"`` (the first iteration
         always completes); remaining restarts are skipped.
+    cache:
+        Enable the incremental per-medoid distance cache
+        (:class:`~repro.perf.cache.IterativeCache`, default on): each
+        hill-climbing vertex recomputes only the columns its medoid
+        swaps invalidated, bounded in memory by the same budget the
+        distance kernels honour.  Results are bit-identical with the
+        cache on or off; hit statistics land on
+        ``result.cache_stats``.  See ``docs/performance.md``.
 
     Other parameters are documented on
     :class:`~repro.core.config.ProclusConfig`.
@@ -315,7 +342,7 @@ def proclus(X, k: int, l: float, *,
                 handle_outliers=handle_outliers, keep_history=keep_history,
                 restarts=restarts, fit_sample_size=fit_sample_size,
                 seed=seed, deadline=deadline, exclude_dims=exclude_dims,
-                notes=notes,
+                notes=notes, cache=cache,
             )
         except (ParameterError, DataError) as exc:
             if not auto_degrade:
@@ -361,6 +388,7 @@ class Proclus:
                  collapse_duplicates: bool = False,
                  auto_degrade: bool = False,
                  time_budget_s: Optional[float] = None,
+                 cache: bool = True,
                  seed: SeedLike = None):
         self.k = k
         self.l = l
@@ -379,6 +407,7 @@ class Proclus:
         self.collapse_duplicates = collapse_duplicates
         self.auto_degrade = auto_degrade
         self.time_budget_s = time_budget_s
+        self.cache = cache
         self.seed = seed
         self.result_: Optional[ProclusResult] = None
 
@@ -402,6 +431,7 @@ class Proclus:
             collapse_duplicates=self.collapse_duplicates,
             auto_degrade=self.auto_degrade,
             time_budget_s=self.time_budget_s,
+            cache=self.cache,
             seed=self.seed,
         )
         return self

@@ -17,7 +17,7 @@ One more pass over the data after hill climbing:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from ..distance.segmental import segmental_distances_to_point
 from ..validation import check_array
 from .assignment import segmental_distance_matrix
 from .dimensions import find_dimensions_from_clusters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..perf.cache import IterativeCache
 
 __all__ = ["spheres_of_influence", "detect_outliers", "refine_clusters",
            "RefinementResult"]
@@ -70,7 +73,8 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
                     min_dims_per_cluster: int = 2,
                     fallback_dims: Optional[Sequence[Sequence[int]]] = None,
                     handle_outliers: bool = True,
-                    exclude_dims: Optional[Sequence[int]] = None) -> RefinementResult:
+                    exclude_dims: Optional[Sequence[int]] = None,
+                    cache: Optional["IterativeCache"] = None) -> RefinementResult:
     """Run the full refinement pass and return the final clustering.
 
     Parameters
@@ -87,6 +91,11 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
     exclude_dims:
         Dimensions to soft-exclude from the Z-score ranking (the
         robustness layer's constant-dimension fallback).
+    cache:
+        Optional :class:`~repro.perf.cache.IterativeCache` (usually the
+        one the iterative phase just used): segmental columns of
+        medoids whose dimension set survived the cluster-based
+        recomputation are reused instead of recomputed.
     """
     X = check_array(X, name="X")
     medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
@@ -99,7 +108,9 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
         exclude_dims=exclude_dims,
     )
     medoids = X[medoid_indices]
-    dist = segmental_distance_matrix(X, medoids, dims)
+    dist = segmental_distance_matrix(X, medoids, dims,
+                                     cache=cache,
+                                     medoid_indices=medoid_indices)
     new_labels = np.argmin(dist, axis=1).astype(np.int64)
 
     spheres = spheres_of_influence(medoids, dims)

@@ -69,6 +69,11 @@ class ProclusResult:
         input sanitization ran, else ``None``.  ``labels`` and
         ``medoid_indices`` are always in *original* row indexing — the
         mapping back has already been applied.
+    cache_stats:
+        Hit/miss/eviction counters of the incremental distance cache
+        (per store, plus a ``"memory"`` entry), when the fit ran with
+        ``cache=True``; ``None`` otherwise.  See ``docs/performance.md``
+        for how to read them.
     """
 
     labels: np.ndarray
@@ -85,6 +90,7 @@ class ProclusResult:
     warnings: List[str] = field(default_factory=list)
     degraded: bool = False
     sanitization: Optional["SanitizationReport"] = None
+    cache_stats: Optional[Dict[str, Dict[str, float]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -143,6 +149,7 @@ class ProclusResult:
             "phase_seconds": dict(self.phase_seconds),
             "degraded": self.degraded,
             "warnings": list(self.warnings),
+            "cache_stats": self.cache_stats,
         }
 
     def summary(self) -> str:

@@ -39,6 +39,7 @@ def save_result(result: ProclusResult, path: PathLike) -> Path:
         "terminated_by": result.terminated_by,
         "warnings": list(result.warnings),
         "degraded": bool(result.degraded),
+        "cache_stats": result.cache_stats,
     }
     np.savez_compressed(
         path,
@@ -80,4 +81,5 @@ def load_result(path: PathLike) -> ProclusResult:
         terminated_by=str(meta["terminated_by"]),
         warnings=[str(m) for m in meta.get("warnings", [])],
         degraded=bool(meta.get("degraded", False)),
+        cache_stats=meta.get("cache_stats"),
     )

@@ -69,10 +69,33 @@ def cross_distances(X: np.ndarray, anchors: np.ndarray,
 
 def pairwise_distances(X: np.ndarray, metric: MetricLike = "euclidean", *,
                        memory_budget_bytes: Optional[int] = None) -> np.ndarray:
-    """Symmetric ``(n, n)`` distance matrix among the rows of ``X``."""
+    """Symmetric ``(n, n)`` distance matrix among the rows of ``X``.
+
+    The metric is assumed symmetric (every registered metric is), so
+    only the lower triangle (diagonal included) is computed and the
+    upper triangle is mirrored — half the work of the naive
+    anchors-times-rows product, with identical values.  The row-chunk
+    memory budget applies per anchor column, as in
+    :func:`cross_distances`.
+    """
+    m = get_metric(metric)
     X = np.asarray(X, dtype=np.float64)
-    return cross_distances(X, X, metric,
-                           memory_budget_bytes=memory_budget_bytes)
+    n = X.shape[0]
+    out = np.empty((n, n), dtype=np.float64)
+    chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes)
+    for i in range(n):
+        block = X[i:]
+        if chunk is None:
+            col = m.pairwise_to_point(block, X[i])
+        else:
+            col = np.empty(n - i, dtype=np.float64)
+            for start in range(0, block.shape[0], chunk):
+                col[start:start + chunk] = m.pairwise_to_point(
+                    block[start:start + chunk], X[i]
+                )
+        out[i:, i] = col
+        out[i, i:] = col
+    return out
 
 
 def per_dimension_average_distance(X: np.ndarray, p,

@@ -17,11 +17,12 @@ in a single vectorised pass, which is what ``AssignPoints`` needs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..robustness.guards import resolve_row_chunk
 from .base import Metric
 
 __all__ = [
@@ -49,7 +50,8 @@ def segmental_distance(a, b, dims: Sequence[int]) -> float:
     return float(np.abs(a[d] - b[d]).mean())
 
 
-def segmental_distances_to_point(X: np.ndarray, p, dims: Sequence[int]) -> np.ndarray:
+def segmental_distances_to_point(X: np.ndarray, p, dims: Sequence[int], *,
+                                 memory_budget_bytes: Optional[int] = None) -> np.ndarray:
     """Segmental distances from every row of ``X`` to point ``p``.
 
     Parameters
@@ -60,6 +62,12 @@ def segmental_distances_to_point(X: np.ndarray, p, dims: Sequence[int]) -> np.nd
         Point of shape ``(d,)``.
     dims:
         Dimension subset ``D``.
+    memory_budget_bytes:
+        Soft cap on the ``(n, |D|)`` gather/diff temporaries (default:
+        :data:`repro.robustness.guards.DEFAULT_MEMORY_BUDGET_BYTES`).
+        Past it, rows are processed in chunks — same values, bounded
+        peak memory, exactly like
+        :func:`repro.distance.matrix.cross_distances`.
 
     Returns
     -------
@@ -68,7 +76,16 @@ def segmental_distances_to_point(X: np.ndarray, p, dims: Sequence[int]) -> np.nd
     d = _as_dims(dims)
     X = np.asarray(X, dtype=np.float64)
     p = np.asarray(p, dtype=np.float64).ravel()
-    return np.abs(X[:, d] - p[d]).mean(axis=1)
+    target = p[d]
+    n = X.shape[0]
+    chunk = resolve_row_chunk(n, d.size, memory_budget_bytes)
+    if chunk is None:
+        return np.abs(X[:, d] - target).mean(axis=1)
+    out = np.empty(n, dtype=np.float64)
+    for start in range(0, n, chunk):
+        block = X[start:start + chunk]
+        out[start:start + chunk] = np.abs(block[:, d] - target).mean(axis=1)
+    return out
 
 
 def pairwise_segmental(X: np.ndarray, dims: Sequence[int]) -> np.ndarray:

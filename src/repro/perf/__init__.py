@@ -1,0 +1,30 @@
+"""Performance layer: hot-path caches and batched kernels.
+
+The iterative phase (paper §2.2) re-evaluates a full vertex — medoid
+distances, localities, dimension statistics, segmental assignment —
+on every hill-climbing step, even though a step changes only the bad
+medoids (typically 1–2 of ``k``).  This package holds the machinery
+that exploits that incrementality without changing a single bit of the
+output:
+
+* :mod:`repro.perf.kernels` — a vectorised multi-medoid Manhattan
+  segmental kernel (single gather + ``np.add.reduceat`` over a
+  concatenated dims layout) replacing per-medoid Python loops;
+* :mod:`repro.perf.cache` — :class:`IterativeCache`, a byte-bounded
+  LRU cache of per-medoid distance columns, segmental columns, and
+  locality statistics, keyed by medoid row index (and dimension set)
+  so only the columns of swapped medoids are recomputed.
+
+Everything here is exact: cached and uncached paths produce
+bit-identical results (enforced by the tier-1 property suite).
+"""
+
+from .cache import CacheStats, IterativeCache
+from .kernels import build_dims_layout, segmental_columns
+
+__all__ = [
+    "IterativeCache",
+    "CacheStats",
+    "segmental_columns",
+    "build_dims_layout",
+]

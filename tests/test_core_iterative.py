@@ -156,3 +156,24 @@ class TestRunIterativePhase:
         b = run_iterative_phase(dataset.points, pool, k=3, l=4, seed=9)
         assert np.array_equal(a.medoid_indices, b.medoid_indices)
         assert a.objective == b.objective
+
+    def test_history_bad_positions_belong_to_visited_vertex(self, dataset):
+        # regression: non-improving records used to carry the *best*
+        # vertex's stale bad positions instead of the visited vertex's
+        # own.  Re-derive each record's clustering and check.
+        from repro.core import assign_points, compute_localities, find_dimensions
+
+        pool = np.arange(0, 800, 40)
+        out = run_iterative_phase(dataset.points, pool, k=3, l=4, seed=5)
+        non_improving = [rec for rec in out.history if not rec.improved]
+        assert non_improving  # seed 5 visits rejected vertices
+        for rec in out.history:
+            current = np.asarray(rec.medoid_indices, dtype=np.intp)
+            localities, _ = compute_localities(
+                dataset.points, current, min_locality_size=2)
+            dims = find_dimensions(dataset.points, current, 4,
+                                   localities=localities)
+            labels = assign_points(dataset.points, dataset.points[current],
+                                   dims)
+            expected = find_bad_medoids(labels, k=3, min_deviation=0.1)
+            assert list(rec.bad_positions) == expected

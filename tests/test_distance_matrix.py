@@ -78,6 +78,24 @@ class TestKernels:
         assert np.allclose(m, m.T)
         assert np.allclose(np.diag(m), 0.0)
 
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    def test_pairwise_triangular_matches_naive(self, metric):
+        # pairwise_distances computes the lower triangle and mirrors;
+        # |x-y| and (x-y)^2 are symmetric per dimension, so it must
+        # equal the full N x N cross computation bit for bit
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(37, 5))
+        naive = cross_distances(X, X, metric)
+        assert np.array_equal(pairwise_distances(X, metric), naive)
+
+    def test_pairwise_chunked_matches_naive(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(200, 4))
+        naive = cross_distances(X, X, "euclidean")
+        chunked = pairwise_distances(X, "euclidean",
+                                     memory_budget_bytes=1024)
+        assert np.array_equal(chunked, naive)
+
     def test_single_anchor_promoted(self):
         X = np.zeros((3, 2))
         m = cross_distances(X, np.array([1.0, 1.0]), "manhattan")

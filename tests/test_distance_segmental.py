@@ -74,6 +74,18 @@ class TestBatch:
                     segmental_distance(X[i], X[j], [0, 1])
                 )
 
+    def test_chunked_matches_unchunked_exactly(self):
+        # a 1 KiB budget forces row chunking; per-row means are
+        # independent, so the values must be bit-identical
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(500, 6))
+        p = rng.normal(size=6)
+        dims = [0, 2, 3, 5]
+        full = segmental_distances_to_point(X, p, dims)
+        chunked = segmental_distances_to_point(
+            X, p, dims, memory_budget_bytes=1024)
+        assert np.array_equal(full, chunked)
+
 
 class TestMetricObject:
     def test_callable_form(self):

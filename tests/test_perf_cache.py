@@ -1,0 +1,292 @@
+"""Tests for the incremental distance cache (:mod:`repro.perf`).
+
+The contract under test is the one the whole layer is built on: cached
+and uncached runs are **bit-identical** — the cache may only change the
+wall clock, never a single float.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import cache_report, proclus, run_iterative_phase
+from repro.distance import cross_distances, segmental_distances_to_point
+from repro.exceptions import ParameterError
+from repro.perf import (
+    CacheStats,
+    IterativeCache,
+    build_dims_layout,
+    segmental_columns,
+)
+from repro.robustness import Deadline
+
+
+class TestDimsLayout:
+    def test_layout_concatenates_in_order(self):
+        flat, starts, counts = build_dims_layout([(0, 2), (1,), (3, 4, 5)])
+        assert flat.tolist() == [0, 2, 1, 3, 4, 5]
+        assert starts.tolist() == [0, 2, 3]
+        assert counts.tolist() == [2, 1, 3]
+
+    def test_empty_dim_set_rejected(self):
+        with pytest.raises(ParameterError, match="dimension set 1 is empty"):
+            build_dims_layout([(0,), ()])
+
+    def test_no_dim_sets_rejected(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            build_dims_layout([])
+
+
+class TestSegmentalColumns:
+    @pytest.fixture
+    def workload(self, rng):
+        X = rng.normal(size=(60, 8))
+        medoids = X[[3, 17, 42]]
+        dim_sets = [(0, 1, 2), (4, 6), (1, 3, 5, 7)]
+        return X, medoids, dim_sets
+
+    def test_matches_per_medoid_loop(self, workload):
+        X, medoids, dim_sets = workload
+        out = segmental_columns(X, medoids, dim_sets)
+        for i, dims in enumerate(dim_sets):
+            expected = segmental_distances_to_point(X, medoids[i], dims)
+            assert np.allclose(out[:, i], expected)
+
+    def test_medoid_count_mismatch_rejected(self, workload):
+        X, medoids, dim_sets = workload
+        with pytest.raises(ParameterError, match="one dimension set per"):
+            segmental_columns(X, medoids, dim_sets[:2])
+
+    def test_subset_bit_identical_to_full_batch(self, workload):
+        # the cache computes only the missing columns; segment reductions
+        # are independent, so a sub-batch must reproduce the full batch's
+        # bits exactly
+        X, medoids, dim_sets = workload
+        full = segmental_columns(X, medoids, dim_sets)
+        sub = segmental_columns(X, medoids[[0, 2]],
+                                [dim_sets[0], dim_sets[2]])
+        assert np.array_equal(sub[:, 0], full[:, 0])
+        assert np.array_equal(sub[:, 1], full[:, 2])
+
+    def test_row_chunking_bit_identical(self, workload):
+        X, medoids, dim_sets = workload
+        full = segmental_columns(X, medoids, dim_sets)
+        chunked = segmental_columns(X, medoids, dim_sets,
+                                    memory_budget_bytes=1024)
+        assert np.array_equal(full, chunked)
+
+
+class TestCacheStats:
+    def test_zero_lookups(self):
+        s = CacheStats()
+        assert s.hit_rate == 0.0
+        assert s.lookups == 0
+
+    def test_as_dict_round_numbers(self):
+        s = CacheStats(hits=3, misses=1, evictions=2)
+        d = s.as_dict()
+        assert d["hits"] == 3 and d["misses"] == 1 and d["evictions"] == 2
+        assert d["hit_rate"] == 0.75
+
+
+class TestIterativeCache:
+    @pytest.fixture
+    def X(self, rng):
+        return rng.normal(size=(120, 6))
+
+    def test_distance_columns_match_kernel(self, X):
+        cache = IterativeCache()
+        rows = np.array([5, 40, 99])
+        expected = cross_distances(X, X[rows], "euclidean")
+        first = cache.distance_columns(X, rows, "euclidean")
+        again = cache.distance_columns(X, rows, "euclidean")
+        assert np.array_equal(first, expected)
+        assert np.array_equal(again, expected)
+        assert cache.stats["distance"].hits == 3
+        assert cache.stats["distance"].misses == 3
+
+    def test_partial_miss_recomputes_only_new_rows(self, X):
+        cache = IterativeCache()
+        cache.distance_columns(X, np.array([5, 40]), "euclidean")
+        out = cache.distance_columns(X, np.array([5, 40, 99]), "euclidean")
+        assert cache.stats["distance"].misses == 3  # 2 cold + 1 new
+        assert np.array_equal(out, cross_distances(X, X[[5, 40, 99]],
+                                                   "euclidean"))
+
+    def test_metrics_do_not_collide(self, X):
+        cache = IterativeCache()
+        rows = np.array([0, 1])
+        e = cache.distance_columns(X, rows, "euclidean")
+        m = cache.distance_columns(X, rows, "manhattan")
+        assert np.array_equal(e, cross_distances(X, X[rows], "euclidean"))
+        assert np.array_equal(m, cross_distances(X, X[rows], "manhattan"))
+
+    def test_segmental_keyed_by_row_and_dims(self, X):
+        cache = IterativeCache()
+        rows = np.array([3, 60])
+        a = cache.segmental_matrix(X, rows, [(0, 1), (2, 3)])
+        # same rows, different dim set for medoid 1 -> one hit, one miss
+        b = cache.segmental_matrix(X, rows, [(0, 1), (2, 4)])
+        assert np.array_equal(a[:, 0], b[:, 0])
+        assert cache.stats["segmental"].hits == 1
+        assert cache.stats["segmental"].misses == 3
+        assert np.array_equal(
+            b, segmental_columns(X, X[rows], [(0, 1), (2, 4)])
+        )
+
+    def test_bind_new_matrix_clears_stores(self, X, rng):
+        cache = IterativeCache()
+        cache.distance_columns(X, np.array([0, 1]), "euclidean")
+        assert cache.nbytes > 0
+        Y = rng.normal(size=(50, 6))
+        out = cache.distance_columns(Y, np.array([0, 1]), "euclidean")
+        assert np.array_equal(out, cross_distances(Y, Y[[0, 1]], "euclidean"))
+        assert cache.stats["distance"].misses == 4  # no stale reuse
+
+    def test_discard_rows_invalidates(self, X):
+        cache = IterativeCache()
+        cache.distance_columns(X, np.array([7, 8]), "euclidean")
+        cache.discard_rows([7])
+        cache.distance_columns(X, np.array([7, 8]), "euclidean")
+        assert cache.stats["distance"].hits == 1  # only row 8 survived
+        assert cache.stats["distance"].misses == 3
+
+    def test_tiny_budget_evicts_but_stays_correct(self, X):
+        # budget fits roughly one (N,) float64 column -> constant churn
+        cache = IterativeCache(memory_budget_bytes=X.shape[0] * 8 + 1)
+        rows = np.array([0, 10, 20, 30])
+        for _ in range(3):
+            out = cache.distance_columns(X, rows, "euclidean")
+            assert np.array_equal(
+                out, cross_distances(X, X[rows], "euclidean")
+            )
+        assert cache.stats["distance"].evictions > 0
+        assert cache.nbytes <= X.shape[0] * 8 * 2  # never far past budget
+
+    def test_stats_dict_shape(self, X):
+        cache = IterativeCache()
+        cache.distance_columns(X, np.array([0]), "euclidean")
+        d = cache.stats_dict()
+        assert set(d) == {"distance", "segmental", "locality", "stats",
+                          "memory"}
+        assert d["memory"]["bytes"] == cache.nbytes
+        assert d["memory"]["entries"] == 1
+
+
+class TestCacheReport:
+    def test_none_for_uncached(self):
+        assert cache_report(None) is None
+
+    def test_aggregates_stores(self):
+        cache = IterativeCache()
+        X = np.arange(40.0).reshape(10, 4)
+        cache.distance_columns(X, np.array([0, 1]), "euclidean")
+        cache.distance_columns(X, np.array([0, 1]), "euclidean")
+        report = cache_report(cache.stats_dict())
+        assert report.hits == 2 and report.misses == 2
+        assert report.hit_rate == 0.5
+        assert not report.thrashing
+        assert "distance" in report.per_store
+        assert "hit rate" in report.to_text()
+
+    def test_thrashing_flag(self):
+        report = cache_report({
+            "distance": {"hits": 1, "misses": 9, "evictions": 8,
+                         "hit_rate": 0.1},
+            "memory": {"bytes": 100, "budget_bytes": 128, "entries": 1},
+        })
+        assert report.thrashing
+        assert "THRASHING" in report.to_text()
+
+
+# ----------------------------------------------------------------------
+# S4: the bit-identity property, the layer's core contract.
+
+def _phase_fingerprint(out):
+    return (
+        out.medoid_indices.tolist(),
+        out.dim_sets,
+        out.labels.tolist(),
+        out.objective,
+        out.n_iterations,
+        out.n_improvements,
+        out.terminated_by,
+        [(r.iteration, r.objective, r.improved, r.medoid_indices,
+          r.bad_positions, r.locality_sizes) for r in out.history],
+    )
+
+
+class TestCachedUncachedIdentity:
+    """Property: for any seed/metric/deadline, cache on == cache off."""
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+    @pytest.mark.parametrize("with_deadline", [False, True],
+                             ids=["no-deadline", "deadline"])
+    def test_run_iterative_phase_identical(self, tiny_projected_dataset,
+                                           metric, with_deadline):
+        X = tiny_projected_dataset.points
+        pool = np.arange(0, X.shape[0], 12)  # 50 candidates
+        for seed in range(5):
+            # a *finite* deadline cannot be compared bitwise (the two
+            # runs tick wall clocks at different speeds); an unlimited
+            # Deadline still exercises the expiry checks every iteration
+            kwargs = dict(metric=metric, seed=seed)
+            if with_deadline:
+                uncached = run_iterative_phase(
+                    X, pool, k=3, l=4, cache=False,
+                    deadline=Deadline.start(None), **kwargs)
+                cached = run_iterative_phase(
+                    X, pool, k=3, l=4, cache=True,
+                    deadline=Deadline.start(None), **kwargs)
+            else:
+                uncached = run_iterative_phase(X, pool, k=3, l=4,
+                                               cache=False, **kwargs)
+                cached = run_iterative_phase(X, pool, k=3, l=4,
+                                             cache=True, **kwargs)
+            assert _phase_fingerprint(cached) == _phase_fingerprint(uncached)
+            assert uncached.cache_stats is None
+            assert cached.cache_stats is not None
+
+    def test_shared_cache_instance_identical(self, tiny_projected_dataset):
+        # reusing one instance keeps warm columns across runs on the
+        # same X (the refinement-phase sharing pattern); results must
+        # still match a cold uncached run exactly
+        X = tiny_projected_dataset.points
+        pool = np.arange(0, X.shape[0], 12)
+        shared = IterativeCache()
+        baseline = run_iterative_phase(X, pool, k=3, l=4, seed=11,
+                                       cache=False)
+        for _ in range(2):
+            out = run_iterative_phase(X, pool, k=3, l=4, seed=11,
+                                      cache=shared)
+            assert _phase_fingerprint(out) == _phase_fingerprint(baseline)
+
+    def test_tiny_budget_identical(self, tiny_projected_dataset):
+        # heavy eviction changes hit rates, never values
+        X = tiny_projected_dataset.points
+        pool = np.arange(0, X.shape[0], 12)
+        baseline = run_iterative_phase(X, pool, k=3, l=4, seed=3,
+                                       cache=False)
+        starved = run_iterative_phase(
+            X, pool, k=3, l=4, seed=3,
+            cache=IterativeCache(memory_budget_bytes=4096))
+        assert _phase_fingerprint(starved) == _phase_fingerprint(baseline)
+
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"fit_sample_size": 300},
+        {"restarts": 2},
+        {"metric": "manhattan"},
+    ], ids=["plain", "large-db", "restarts", "manhattan"])
+    def test_proclus_end_to_end_identical(self, tiny_projected_dataset,
+                                          kwargs):
+        X = tiny_projected_dataset.points
+        on = proclus(X, k=3, l=4, seed=29, cache=True, **kwargs)
+        off = proclus(X, k=3, l=4, seed=29, cache=False, **kwargs)
+        assert np.array_equal(on.labels, off.labels)
+        assert np.array_equal(on.medoid_indices, off.medoid_indices)
+        assert on.dimensions == off.dimensions
+        assert on.objective == off.objective
+        assert on.iterative_objective == off.iterative_objective
+        assert on.objective_history == off.objective_history
+        assert on.terminated_by == off.terminated_by
+        assert on.cache_stats is not None and off.cache_stats is None
