@@ -31,7 +31,7 @@ from .baselines.clique import Clique
 from .core.proclus import proclus
 from .data.io import load_csv, save_csv
 from .data.synthetic import generate
-from .exceptions import ReproError, SanitizationWarning
+from .exceptions import ParameterError, ReproError, SanitizationWarning
 from .experiments.registry import get_experiment, list_experiments
 from .metrics.confusion import confusion_matrix
 from .metrics.external import adjusted_rand_index
@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
                    help="wall-clock budget; on expiry the best-so-far "
                         "clustering is returned (terminated_by=deadline)")
+    c.add_argument("--restarts", type=int, default=1,
+                   help="run the whole pipeline this many times with "
+                        "independent seeds and keep the best run "
+                        "(paper section 4.3; default 1)")
+    c.add_argument("--n-jobs", type=int, default=1,
+                   help="worker count for the parallel execution layer: "
+                        "1 = serial (default), N >= 2 fans restarts out "
+                        "over N processes, -1 = all cores; results are "
+                        "bit-identical for any value")
     c.add_argument("--on-bad-values", default="drop",
                    choices=["raise", "drop", "impute_median", "clip"],
                    help="policy for NaN/inf cells in the input "
@@ -123,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--n-points", type=int, default=None,
                    help="override workload size (paper scale: 100000)")
     e.add_argument("--seed", type=int, default=None)
+    e.add_argument("--n-jobs", type=int, default=None,
+                   help="run the experiment's config grid concurrently "
+                        "(experiments that accept n_jobs only; timings "
+                        "of concurrent configs share the machine)")
 
     sub.add_parser("list", help="list available experiments")
     return parser
@@ -185,6 +198,8 @@ def _cmd_cluster(args) -> int:
             on_bad_values=args.on_bad_values if sanitize else "raise",
             auto_degrade=sanitize,
             time_budget_s=args.time_budget,
+            restarts=args.restarts,
+            n_jobs=args.n_jobs,
             seed=args.seed,
         )
     print(result.summary())
@@ -237,12 +252,20 @@ def _cmd_stability(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    import inspect
+
     runner = get_experiment(args.name)
     kwargs = {}
     if args.n_points is not None:
         kwargs["n_points"] = args.n_points
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.n_jobs is not None:
+        if "n_jobs" not in inspect.signature(runner).parameters:
+            raise ParameterError(
+                f"experiment {args.name!r} does not support --n-jobs"
+            )
+        kwargs["n_jobs"] = args.n_jobs
     report = runner(**kwargs)
     print(report.to_text())
     return 0

@@ -29,9 +29,11 @@ from .config import ProclusConfig
 from .diagnostics import (
     CacheReport,
     LocalityReport,
+    ParallelReport,
     PiercingReport,
     cache_report,
     locality_report,
+    parallel_report,
     piercing_report,
 )
 from .dimensions import (
@@ -75,6 +77,8 @@ __all__ = [
     "LocalityReport",
     "cache_report",
     "CacheReport",
+    "parallel_report",
+    "ParallelReport",
     "save_result",
     "load_result",
     "sweep_l",

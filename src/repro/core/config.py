@@ -27,6 +27,7 @@ from ..rng import SeedLike
 from ..validation import (
     check_fraction,
     check_k_l,
+    check_n_jobs,
     check_positive_int,
     check_time_budget,
 )
@@ -70,6 +71,12 @@ class ProclusConfig:
         (:class:`~repro.perf.cache.IterativeCache`) in the iterative
         and refinement phases.  Default on; results are bit-identical
         either way, only the wall clock changes.
+    n_jobs:
+        Worker count for the deterministic parallel execution layer
+        (:mod:`repro.perf.parallel`): ``1`` (default) is the exact
+        serial code path, ``>= 2`` fans multi-restart fits out over a
+        process pool with a shared-memory data plane, ``-1`` uses all
+        cores.  Results are bit-identical for any value.
     seed:
         Seed or generator for all randomised steps.
     """
@@ -85,6 +92,7 @@ class ProclusConfig:
     min_dims_per_cluster: int = 2
     time_budget_s: Optional[float] = None
     cache: bool = True
+    n_jobs: int = 1
     seed: SeedLike = None
     extra: dict = field(default_factory=dict)
 
@@ -108,6 +116,7 @@ class ProclusConfig:
         )
         self.time_budget_s = check_time_budget(self.time_budget_s)
         self.cache = bool(self.cache)
+        self.n_jobs = check_n_jobs(self.n_jobs)
         if self.min_dims_per_cluster > self.l:
             raise ParameterError(
                 f"min_dims_per_cluster={self.min_dims_per_cluster} exceeds l={self.l}"

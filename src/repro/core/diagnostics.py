@@ -25,7 +25,8 @@ from ..validation import check_array
 from .dimensions import compute_localities
 
 __all__ = ["PiercingReport", "piercing_report", "LocalityReport",
-           "locality_report", "CacheReport", "cache_report"]
+           "locality_report", "CacheReport", "cache_report",
+           "ParallelReport", "parallel_report"]
 
 
 @dataclass
@@ -193,4 +194,58 @@ def cache_report(stats: Optional[Mapping[str, Mapping[str, float]]]) -> Optional
         bytes_held=int(memory.get("bytes", 0)),
         budget_bytes=int(memory.get("budget_bytes", 0)),
         per_store=stores,
+    )
+
+
+@dataclass
+class ParallelReport:
+    """Aggregated view of a restart fan-out's worker utilisation.
+
+    Built from ``result.parallelism``; answers "did the extra workers
+    actually pay off on this fit?".
+    """
+
+    n_jobs: int
+    n_workers: int
+    restarts_completed: int
+    restart_seconds: Sequence[Optional[float]]
+    wall_seconds: float
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker wall time over the completed restarts."""
+        return float(sum(s for s in self.restart_seconds if s is not None))
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual fan-out wall time."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.busy_seconds / self.wall_seconds
+
+    @property
+    def efficiency(self) -> float:
+        """:attr:`speedup` per worker (1.0 = perfectly parallel)."""
+        return self.speedup / max(1, self.n_workers)
+
+    def to_text(self) -> str:
+        """One-line utilisation summary."""
+        return (
+            f"parallel: {self.restarts_completed} restart(s) on "
+            f"{self.n_workers} worker(s) (n_jobs={self.n_jobs}); "
+            f"{self.busy_seconds:.3f}s of work in {self.wall_seconds:.3f}s "
+            f"wall ({self.speedup:.2f}x, {self.efficiency:.0%} efficiency)"
+        )
+
+
+def parallel_report(parallelism: Optional[Mapping[str, object]]) -> Optional[ParallelReport]:
+    """Summarise ``result.parallelism``; ``None`` for single-restart fits."""
+    if parallelism is None:
+        return None
+    return ParallelReport(
+        n_jobs=int(parallelism.get("n_jobs", 1)),
+        n_workers=int(parallelism.get("n_workers", 1)),
+        restarts_completed=int(parallelism.get("restarts_completed", 0)),
+        restart_seconds=list(parallelism.get("restart_seconds", [])),
+        wall_seconds=float(parallelism.get("wall_seconds", 0.0)),
     )

@@ -27,11 +27,12 @@ from ..exceptions import (
     SanitizationWarning,
 )
 from ..perf.cache import IterativeCache
+from ..perf.parallel import resolve_n_jobs, run_parallel_restarts
 from ..rng import SeedLike, ensure_rng, spawn
 from ..robustness.fallback import kmedoids_fallback, plan_degradation
 from ..robustness.guards import Deadline
 from ..robustness.sanitize import SanitizationReport, sanitize
-from ..validation import check_array
+from ..validation import check_array, check_n_jobs
 from .assignment import assign_points
 from .config import ProclusConfig
 from .initialization import initialize_medoid_pool
@@ -51,13 +52,54 @@ def _fit(X: np.ndarray, k: int, l: float, *,
          fit_sample_size: Optional[int], seed: SeedLike,
          deadline: Optional[Deadline],
          exclude_dims: Sequence[int],
-         notes: List[str], cache: bool = True) -> ProclusResult:
+         notes: List[str], cache: bool = True,
+         n_jobs: int = 1) -> ProclusResult:
     """Fit on already-sanitized data (the body behind :func:`proclus`)."""
     if restarts > 1:
         rng = ensure_rng(seed)
-        best: Optional[ProclusResult] = None
         children = spawn(rng, restarts)
+        fan_t0 = time.perf_counter()
+        if resolve_n_jobs(n_jobs, n_tasks=restarts) > 1:
+            outcome = run_parallel_restarts(
+                X, children, n_jobs=n_jobs, deadline=deadline,
+                fit_kwargs=dict(
+                    k=k, l=l,
+                    sample_factor=sample_factor, pool_factor=pool_factor,
+                    min_deviation=min_deviation,
+                    max_bad_tries=max_bad_tries,
+                    max_iterations=max_iterations, metric=metric,
+                    min_dims_per_cluster=min_dims_per_cluster,
+                    handle_outliers=handle_outliers,
+                    keep_history=keep_history,
+                    fit_sample_size=fit_sample_size,
+                    exclude_dims=exclude_dims, cache=cache,
+                ),
+            )
+            best = outcome.best
+            # only the winning child's notes survive, as in the serial
+            # loop below; losers' notes describe runs that were discarded
+            notes.extend(outcome.winner_notes)
+            if outcome.cancelled:
+                notes.append(
+                    f"time budget exhausted after {outcome.completed} of "
+                    f"{restarts} restarts; returning the best completed run"
+                )
+            best.parallelism = {
+                "n_jobs": n_jobs,
+                "n_workers": outcome.n_workers,
+                "restarts_completed": outcome.completed,
+                "restart_seconds": outcome.restart_seconds,
+                "wall_seconds": time.perf_counter() - fan_t0,
+            }
+            return best
+
+        best: Optional[ProclusResult] = None
+        best_notes: List[str] = []
+        restart_seconds: List[Optional[float]] = [None] * restarts
+        completed = 0
         for i, child in enumerate(children):
+            child_notes: List[str] = []
+            t0 = time.perf_counter()
             candidate = _fit(
                 X, k, l,
                 sample_factor=sample_factor, pool_factor=pool_factor,
@@ -66,17 +108,29 @@ def _fit(X: np.ndarray, k: int, l: float, *,
                 min_dims_per_cluster=min_dims_per_cluster,
                 handle_outliers=handle_outliers, keep_history=keep_history,
                 restarts=1, fit_sample_size=fit_sample_size, seed=child,
-                deadline=deadline, exclude_dims=exclude_dims, notes=notes,
-                cache=cache,
+                deadline=deadline, exclude_dims=exclude_dims,
+                notes=child_notes, cache=cache, n_jobs=1,
             )
+            restart_seconds[i] = time.perf_counter() - t0
+            completed = i + 1
             if best is None or candidate.iterative_objective < best.iterative_objective:
                 best = candidate
+                best_notes = child_notes
             if deadline is not None and deadline.expired() and i + 1 < restarts:
-                notes.append(
-                    f"time budget exhausted after {i + 1} of {restarts} "
-                    "restarts; returning the best completed run"
-                )
                 break
+        notes.extend(best_notes)
+        if completed < restarts:
+            notes.append(
+                f"time budget exhausted after {completed} of {restarts} "
+                "restarts; returning the best completed run"
+            )
+        best.parallelism = {
+            "n_jobs": n_jobs,
+            "n_workers": 1,
+            "restarts_completed": completed,
+            "restart_seconds": restart_seconds,
+            "wall_seconds": time.perf_counter() - fan_t0,
+        }
         return best
 
     if fit_sample_size is not None and fit_sample_size < X.shape[0]:
@@ -100,7 +154,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
             handle_outliers=False, keep_history=keep_history,
             restarts=1, fit_sample_size=None, seed=rng_fit,
             deadline=deadline, exclude_dims=exclude_dims, notes=notes,
-            cache=cache,
+            cache=cache, n_jobs=n_jobs,
         )
         t_sample_fit = time.perf_counter() - t0
         # refinement over the FULL database with the sample's medoids.
@@ -149,6 +203,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
         min_dims_per_cluster=min_dims_per_cluster,
         time_budget_s=deadline.budget_s if deadline is not None else None,
         cache=cache,
+        n_jobs=n_jobs,
         seed=seed,
     ).validated(X.shape[0], X.shape[1])
 
@@ -228,6 +283,7 @@ def proclus(X, k: int, l: float, *,
             auto_degrade: bool = False,
             time_budget_s: Optional[float] = None,
             cache: bool = True,
+            n_jobs: int = 1,
             seed: SeedLike = None) -> ProclusResult:
     """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
 
@@ -290,6 +346,18 @@ def proclus(X, k: int, l: float, *,
         distance kernels honour.  Results are bit-identical with the
         cache on or off; hit statistics land on
         ``result.cache_stats``.  See ``docs/performance.md``.
+    n_jobs:
+        Worker count for the deterministic parallel execution layer
+        (:mod:`repro.perf.parallel`).  ``1`` (default) is the exact
+        serial code path; ``>= 2`` fans ``restarts > 1`` out over that
+        many processes, sharing the sanitized data matrix through a
+        zero-copy shared-memory plane; ``-1`` uses all cores.  Results
+        are bit-identical to the serial loop for any ``n_jobs``: child
+        seeds are spawned in the parent and the winner is reduced by
+        ``(iterative_objective, restart_index)``, which is
+        order-independent.  Worker/timing diagnostics land on
+        ``result.parallelism``.  Each worker builds its own
+        :class:`~repro.perf.cache.IterativeCache` when ``cache=True``.
 
     Other parameters are documented on
     :class:`~repro.core.config.ProclusConfig`.
@@ -298,6 +366,7 @@ def proclus(X, k: int, l: float, *,
         X = X.points
     if restarts < 1:
         raise ParameterError(f"restarts must be >= 1; got {restarts}")
+    n_jobs = check_n_jobs(n_jobs)
     deadline = Deadline.start(time_budget_s) if time_budget_s is not None else None
 
     notes: List[str] = []
@@ -342,7 +411,7 @@ def proclus(X, k: int, l: float, *,
                 handle_outliers=handle_outliers, keep_history=keep_history,
                 restarts=restarts, fit_sample_size=fit_sample_size,
                 seed=seed, deadline=deadline, exclude_dims=exclude_dims,
-                notes=notes, cache=cache,
+                notes=notes, cache=cache, n_jobs=n_jobs,
             )
         except (ParameterError, DataError) as exc:
             if not auto_degrade:
@@ -389,6 +458,7 @@ class Proclus:
                  auto_degrade: bool = False,
                  time_budget_s: Optional[float] = None,
                  cache: bool = True,
+                 n_jobs: int = 1,
                  seed: SeedLike = None):
         self.k = k
         self.l = l
@@ -408,6 +478,7 @@ class Proclus:
         self.auto_degrade = auto_degrade
         self.time_budget_s = time_budget_s
         self.cache = cache
+        self.n_jobs = n_jobs
         self.seed = seed
         self.result_: Optional[ProclusResult] = None
 
@@ -432,6 +503,7 @@ class Proclus:
             auto_degrade=self.auto_degrade,
             time_budget_s=self.time_budget_s,
             cache=self.cache,
+            n_jobs=self.n_jobs,
             seed=self.seed,
         )
         return self

@@ -74,6 +74,16 @@ class ProclusResult:
         (per store, plus a ``"memory"`` entry), when the fit ran with
         ``cache=True``; ``None`` otherwise.  See ``docs/performance.md``
         for how to read them.
+    parallelism:
+        Restart fan-out diagnostics when the fit ran with
+        ``restarts > 1``: the requested ``n_jobs``, the worker count
+        actually used (``n_workers``), how many restarts completed
+        (``restarts_completed`` — fewer than requested when a deadline
+        cancelled the tail), per-restart worker wall times
+        (``restart_seconds``, ``None`` for cancelled restarts), and the
+        fan-out's total ``wall_seconds``.  ``None`` for single-restart
+        fits.  Feed it to :func:`repro.core.diagnostics.parallel_report`
+        for an efficiency summary.
     """
 
     labels: np.ndarray
@@ -91,6 +101,7 @@ class ProclusResult:
     degraded: bool = False
     sanitization: Optional["SanitizationReport"] = None
     cache_stats: Optional[Dict[str, Dict[str, float]]] = None
+    parallelism: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -150,6 +161,8 @@ class ProclusResult:
             "degraded": self.degraded,
             "warnings": list(self.warnings),
             "cache_stats": self.cache_stats,
+            "parallelism": (dict(self.parallelism)
+                            if self.parallelism is not None else None),
         }
 
     def summary(self) -> str:

@@ -40,6 +40,7 @@ def save_result(result: ProclusResult, path: PathLike) -> Path:
         "warnings": list(result.warnings),
         "degraded": bool(result.degraded),
         "cache_stats": result.cache_stats,
+        "parallelism": result.parallelism,
     }
     np.savez_compressed(
         path,
@@ -82,4 +83,5 @@ def load_result(path: PathLike) -> ProclusResult:
         warnings=[str(m) for m in meta.get("warnings", [])],
         degraded=bool(meta.get("degraded", False)),
         cache_stats=meta.get("cache_stats"),
+        parallelism=meta.get("parallelism"),
     )

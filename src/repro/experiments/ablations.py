@@ -27,6 +27,7 @@ from ..core.proclus import proclus
 from ..data.dataset import Dataset
 from ..data.synthetic import SyntheticDataGenerator
 from ..metrics.external import adjusted_rand_index
+from ..perf.parallel import parallel_map
 from ..rng import ensure_rng
 from .configs import make_case_config
 from .registry import register_experiment
@@ -131,41 +132,58 @@ def run_initialization_ablation(*, n_points: int = 5000, n_seeds: int = 3,
 
 def run_min_deviation_ablation(*, n_points: int = 5000,
                                values: Sequence[float] = (0.01, 0.05, 0.1, 0.3, 0.5),
-                               seed: int = 1999) -> AblationReport:
-    """Sweep the bad-medoid threshold (paper default 0.1)."""
+                               seed: int = 1999,
+                               n_jobs: int = 1) -> AblationReport:
+    """Sweep the bad-medoid threshold (paper default 0.1).
+
+    ``n_jobs > 1`` evaluates the grid values concurrently
+    (:func:`repro.perf.parallel.parallel_map`); every value keeps its
+    own fixed seed, so the rows are identical in either mode.
+    """
     ds, cfg = _case_dataset(n_points, seed)
     report = AblationReport(knob="min_deviation")
-    for v in values:
+
+    def evaluate(v):
         result = proclus(ds.points, cfg.n_clusters, cfg.l,
                          min_deviation=v, seed=seed + 1, keep_history=False)
-        report.rows.append({
+        return {
             "variant": f"{v:g}",
             "ari": adjusted_rand_index(result.labels, ds.labels),
             "objective": result.objective,
             "outliers": float(result.n_outliers),
-        })
+        }
+
+    report.rows.extend(parallel_map(evaluate, values, n_jobs=n_jobs))
     return report
 
 
 def run_pool_size_ablation(*, n_points: int = 5000,
                            a_values: Sequence[int] = (5, 15, 30, 60),
                            b_values: Sequence[int] = (2, 5, 10),
-                           seed: int = 1999) -> AblationReport:
-    """Sweep the A (sample) and B (pool) multipliers jointly."""
+                           seed: int = 1999,
+                           n_jobs: int = 1) -> AblationReport:
+    """Sweep the A (sample) and B (pool) multipliers jointly.
+
+    ``n_jobs > 1`` evaluates the (A, B) grid concurrently
+    (:func:`repro.perf.parallel.parallel_map`); every cell keeps its
+    own fixed seed, so the rows are identical in either mode.
+    """
     ds, cfg = _case_dataset(n_points, seed)
     report = AblationReport(knob="sample_factor (A) x pool_factor (B)")
-    for a in a_values:
-        for b in b_values:
-            if b > a:
-                continue
-            result = proclus(ds.points, cfg.n_clusters, cfg.l,
-                             sample_factor=a, pool_factor=b,
-                             seed=seed + 1, keep_history=False)
-            report.rows.append({
-                "variant": f"A={a},B={b}",
-                "ari": adjusted_rand_index(result.labels, ds.labels),
-                "objective": result.objective,
-            })
+    grid = [(a, b) for a in a_values for b in b_values if b <= a]
+
+    def evaluate(cell):
+        a, b = cell
+        result = proclus(ds.points, cfg.n_clusters, cfg.l,
+                         sample_factor=a, pool_factor=b,
+                         seed=seed + 1, keep_history=False)
+        return {
+            "variant": f"A={a},B={b}",
+            "ari": adjusted_rand_index(result.labels, ds.labels),
+            "objective": result.objective,
+        }
+
+    report.rows.extend(parallel_map(evaluate, grid, n_jobs=n_jobs))
     return report
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..baselines.clique import Clique
 from ..core.proclus import proclus
 from ..data.synthetic import SyntheticDataGenerator
+from ..perf.parallel import parallel_map
 from .ascii_plot import ascii_chart
 from .configs import make_scalability_config
 from .registry import register_experiment
@@ -118,32 +119,37 @@ def run_scalability_points(*, sizes: Sequence[int] = (1000, 2000, 3000, 4000, 50
                            cluster_dim: int = 5, n_dims: int = 20,
                            seed: int = 7,
                            clique_max_dim: Optional[int] = 6,
-                           proclus_repeats: int = 1) -> ScalabilityReport:
+                           proclus_repeats: int = 1,
+                           n_jobs: int = 1) -> ScalabilityReport:
     """Figure 7: runtime vs N.  Paper scale: 100,000..500,000 points.
 
     ``proclus_repeats`` > 1 takes the best-of-``repeats`` wall clock
     per size, suppressing hill-climbing iteration-count noise in the
-    slope estimate.
+    slope estimate.  ``n_jobs > 1`` runs the grid points concurrently
+    (:func:`repro.perf.parallel.parallel_map`) — the clusterings are
+    identical, but concurrent configs share the machine, so keep
+    ``n_jobs=1`` when the timings themselves are the deliverable.
     """
     report = ScalabilityReport(
         x_label="N", x_values=[float(n) for n in sizes],
         title="Figure 7: scalability with number of points",
     )
-    report.series["PROCLUS"] = []
-    if include_clique:
-        report.series["CLIQUE"] = []
-    for n in sizes:
+
+    def measure(n):
         cfg = make_scalability_config(n, n_dims, cluster_dim, seed=seed)
         ds = SyntheticDataGenerator(cfg).generate()
-        report.series["PROCLUS"].append(
-            _run_proclus_timed(ds.points, cfg.n_clusters, cluster_dim, seed,
-                               repeats=proclus_repeats)
-        )
+        row = [_run_proclus_timed(ds.points, cfg.n_clusters, cluster_dim,
+                                  seed, repeats=proclus_repeats)]
         if include_clique:
-            report.series["CLIQUE"].append(
-                _run_clique_timed(ds.points, clique_tau_percent / 100.0,
-                                  clique_max_dim)
-            )
+            row.append(_run_clique_timed(ds.points,
+                                         clique_tau_percent / 100.0,
+                                         clique_max_dim))
+        return row
+
+    rows = parallel_map(measure, sizes, n_jobs=n_jobs)
+    report.series["PROCLUS"] = [r[0] for r in rows]
+    if include_clique:
+        report.series["CLIQUE"] = [r[1] for r in rows]
     return report
 
 
@@ -153,7 +159,8 @@ def run_scalability_cluster_dim(*, dims: Sequence[int] = (4, 5, 6, 7, 8),
                                 seed: int = 7,
                                 n_dims: int = 20,
                                 proclus_repeats: int = 3,
-                                low_tau_percent: float = 0.3) -> ScalabilityReport:
+                                low_tau_percent: float = 0.3,
+                                n_jobs: int = 1) -> ScalabilityReport:
     """Figure 8: runtime vs average cluster dimensionality l.
 
     Following the paper, CLIQUE runs at tau = 0.5% for l <= 6 and a
@@ -171,39 +178,41 @@ def run_scalability_cluster_dim(*, dims: Sequence[int] = (4, 5, 6, 7, 8),
         x_label="l", x_values=[float(l) for l in dims],
         title="Figure 8: scalability with average cluster dimensionality",
     )
-    report.series["PROCLUS"] = []
-    if include_clique:
-        report.series["CLIQUE"] = []
-    for l in dims:
+
+    def measure(l):
         cfg = make_scalability_config(n_points, n_dims, l, seed=seed)
         ds = SyntheticDataGenerator(cfg).generate()
-        report.series["PROCLUS"].append(
-            _run_proclus_timed(ds.points, cfg.n_clusters, l, seed,
-                               repeats=proclus_repeats)
-        )
+        row = [_run_proclus_timed(ds.points, cfg.n_clusters, l, seed,
+                                  repeats=proclus_repeats)]
         if include_clique:
             tau_pct = 0.5 if l <= 6 else low_tau_percent
-            report.series["CLIQUE"].append(
-                _run_clique_timed(ds.points, tau_pct / 100.0, l + 1)
-            )
+            row.append(_run_clique_timed(ds.points, tau_pct / 100.0, l + 1))
+        return row
+
+    rows = parallel_map(measure, dims, n_jobs=n_jobs)
+    report.series["PROCLUS"] = [r[0] for r in rows]
+    if include_clique:
+        report.series["CLIQUE"] = [r[1] for r in rows]
     return report
 
 
 def run_scalability_space_dim(*, dims: Sequence[int] = (20, 30, 40, 50),
                               n_points: int = 5000, cluster_dim: int = 5,
-                              seed: int = 7) -> ScalabilityReport:
+                              seed: int = 7,
+                              n_jobs: int = 1) -> ScalabilityReport:
     """Figure 9: PROCLUS runtime vs space dimensionality d (linear)."""
     report = ScalabilityReport(
         x_label="d", x_values=[float(d) for d in dims],
         title="Figure 9: scalability with dimensionality of the space",
     )
-    report.series["PROCLUS"] = []
-    for d in dims:
+
+    def measure(d):
         cfg = make_scalability_config(n_points, d, cluster_dim, seed=seed)
         ds = SyntheticDataGenerator(cfg).generate()
-        report.series["PROCLUS"].append(
-            _run_proclus_timed(ds.points, cfg.n_clusters, cluster_dim, seed)
-        )
+        return _run_proclus_timed(ds.points, cfg.n_clusters, cluster_dim,
+                                  seed)
+
+    report.series["PROCLUS"] = parallel_map(measure, dims, n_jobs=n_jobs)
     return report
 
 

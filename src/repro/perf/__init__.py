@@ -13,18 +13,37 @@ output:
 * :mod:`repro.perf.cache` — :class:`IterativeCache`, a byte-bounded
   LRU cache of per-medoid distance columns, segmental columns, and
   locality statistics, keyed by medoid row index (and dimension set)
-  so only the columns of swapped medoids are recomputed.
+  so only the columns of swapped medoids are recomputed;
+* :mod:`repro.perf.parallel` — the deterministic parallel execution
+  layer: a shared-memory process-pool fan-out for independent restarts,
+  a thread dispatcher for the chunked distance kernels, and an ordered
+  :func:`~repro.perf.parallel.parallel_map` for experiment grids, all
+  behind an ``n_jobs`` knob whose default (``1``) is the exact serial
+  code path.
 
 Everything here is exact: cached and uncached paths produce
-bit-identical results (enforced by the tier-1 property suite).
+bit-identical results (enforced by the tier-1 property suite), and so
+do serial and parallel ones.
 """
 
 from .cache import CacheStats, IterativeCache
 from .kernels import build_dims_layout, segmental_columns
+from .parallel import (
+    SharedMatrix,
+    parallel_chunks,
+    parallel_map,
+    resolve_n_jobs,
+    run_parallel_restarts,
+)
 
 __all__ = [
     "IterativeCache",
     "CacheStats",
     "segmental_columns",
     "build_dims_layout",
+    "SharedMatrix",
+    "parallel_chunks",
+    "parallel_map",
+    "resolve_n_jobs",
+    "run_parallel_restarts",
 ]

@@ -1,0 +1,352 @@
+"""Deterministic parallel execution layer.
+
+PROCLUS is embarrassingly parallel at three grain sizes, and this
+module provides one dispatcher for each without changing a single bit
+of any result:
+
+* **Restarts** — :func:`run_parallel_restarts` fans the ``restarts > 1``
+  loop of :func:`repro.core.proclus._fit` out over a process pool.  The
+  data matrix travels through a zero-copy shared-memory plane
+  (:class:`SharedMatrix`): the parent publishes the sanitized ``X``
+  once via :mod:`multiprocessing.shared_memory` and every worker
+  attaches a read-only view instead of unpickling an ``(N, d)`` array
+  per task.  Child seeds are spawned in the parent — the same
+  :func:`repro.rng.spawn` streams the serial loop uses — and the winner
+  is reduced order-independently by the key ``(iterative_objective,
+  restart_index)``, which provably equals the serial loop's
+  first-best-wins choice regardless of completion order.
+* **Row chunks** — :func:`parallel_chunks` runs the chunk loops of the
+  distance kernels (:func:`repro.distance.matrix.pairwise_distances`,
+  :func:`repro.distance.segmental.segmental_distances_to_point`) on a
+  thread pool.  Each chunk writes a disjoint output slice, numpy
+  releases the GIL inside the arithmetic, and the per-chunk values are
+  identical to the serial loop's, so the assembled array is too.
+* **Experiment grids** — :func:`parallel_map` evaluates independent
+  experiment configurations concurrently (ordered results, thread
+  based: the runners close over local datasets and report objects,
+  which a process pool could not pickle).
+
+Deadline cooperation: a :class:`~repro.robustness.guards.Deadline`
+cannot cross a process boundary (its epoch is a per-process
+``perf_counter``), so the parent forwards the *remaining seconds* at
+fan-out time and each worker starts a fresh deadline from that value —
+workers self-terminate best-so-far exactly like an in-process fit.
+Once the parent's budget expires, not-yet-started restarts are
+cancelled and the reduction proceeds over every run that did complete.
+
+``n_jobs`` semantics everywhere: ``1`` (the default) takes the exact
+serial code path, ``>= 2`` uses that many workers, ``-1`` uses all
+cores (``os.cpu_count()``); worker counts are additionally capped by
+the number of tasks.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..robustness.guards import Deadline
+from ..validation import check_n_jobs
+
+__all__ = [
+    "resolve_n_jobs",
+    "SharedMatrix",
+    "parallel_chunks",
+    "parallel_map",
+    "run_parallel_restarts",
+    "RestartFanoutOutcome",
+]
+
+
+def resolve_n_jobs(n_jobs: int, n_tasks: Optional[int] = None) -> int:
+    """Turn the user-facing ``n_jobs`` knob into a concrete worker count.
+
+    ``-1`` means all cores; any other value must be ``>= 1``.  The
+    result is capped at ``n_tasks`` when given — more workers than
+    independent tasks only cost startup time.
+    """
+    n_jobs = check_n_jobs(n_jobs)
+    workers = os.cpu_count() or 1 if n_jobs == -1 else n_jobs
+    if n_tasks is not None:
+        workers = min(workers, max(1, int(n_tasks)))
+    return max(1, workers)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory data plane
+# ----------------------------------------------------------------------
+
+#: Per-process cache of attached segments: name -> (SharedMemory, view).
+#: Workers serve many restarts from one pool, so each process attaches
+#: a given matrix once and reuses the view for every later task.
+_ATTACHED: Dict[str, Tuple[object, np.ndarray]] = {}
+
+
+class SharedMatrix:
+    """A float64 matrix published once, attached read-only by workers.
+
+    The parent calls :meth:`publish`, ships the small :attr:`descriptor`
+    dict to each task, and :meth:`unlink`\\ s the segment when the
+    fan-out is done.  Workers call :meth:`attach` with the descriptor
+    and get a read-only ndarray view backed by the shared pages —
+    no per-task pickling of the data matrix.
+    """
+
+    def __init__(self, shm, shape: Tuple[int, ...], dtype: str):
+        self._shm = shm
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+
+    @classmethod
+    def publish(cls, X: np.ndarray) -> "SharedMatrix":
+        """Copy ``X`` into a fresh shared-memory segment."""
+        from multiprocessing import shared_memory
+
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, X.nbytes))
+        view = np.ndarray(X.shape, dtype=X.dtype, buffer=shm.buf)
+        view[...] = X
+        return cls(shm, X.shape, X.dtype.str)
+
+    @property
+    def descriptor(self) -> Dict[str, object]:
+        """Picklable handle a worker needs to attach: name, shape, dtype."""
+        return {"name": self._shm.name, "shape": self.shape,
+                "dtype": self.dtype}
+
+    @staticmethod
+    def attach(descriptor: Dict[str, object]) -> np.ndarray:
+        """Worker side: a read-only view of a published matrix.
+
+        Attachments are cached per process: one ``mmap`` per matrix,
+        not per task.  Pool workers inherit the parent's resource
+        tracker (its fd travels with both fork and spawn start
+        methods), so the attach-side registration is an idempotent
+        set-insert there and the parent's single :meth:`unlink` settles
+        the segment's lifetime.
+        """
+        name = str(descriptor["name"])
+        cached = _ATTACHED.get(name)
+        if cached is not None:
+            return cached[1]
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        view = np.ndarray(tuple(descriptor["shape"]),
+                          dtype=np.dtype(str(descriptor["dtype"])),
+                          buffer=shm.buf)
+        view.flags.writeable = False
+        _ATTACHED[name] = (shm, view)
+        return view
+
+    def unlink(self) -> None:
+        """Release the segment (parent side, after the fan-out)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
+# ----------------------------------------------------------------------
+# Chunked-kernel dispatcher (threads, disjoint output slices)
+# ----------------------------------------------------------------------
+
+def parallel_chunks(write_block: Callable[[int, int], None], n_rows: int, *,
+                    chunk: Optional[int] = None, n_jobs: int = 1) -> None:
+    """Run ``write_block(start, stop)`` over row ranges covering ``n_rows``.
+
+    ``write_block`` must write only into its own ``[start, stop)`` slice
+    of the output — the contract the memory-budgeted kernels already
+    satisfy — so blocks can run on a thread pool without locking and the
+    assembled result is bit-identical to the serial loop (each block
+    computes the same values no matter who runs it, and every output
+    cell is written exactly once).
+
+    ``chunk=None`` with ``n_jobs=1`` makes a single call (the kernels'
+    unchunked fast path).  With ``n_jobs != 1`` the range is split into
+    at most ``chunk`` rows per block (when a memory budget demands it)
+    and at least one block per worker.
+    """
+    workers = resolve_n_jobs(n_jobs, n_tasks=None)
+    n_rows = int(n_rows)
+    if n_rows <= 0:
+        return
+    if workers <= 1:
+        if chunk is None:
+            write_block(0, n_rows)
+        else:
+            for start in range(0, n_rows, chunk):
+                write_block(start, min(start + chunk, n_rows))
+        return
+    per_worker = max(1, math.ceil(n_rows / workers))
+    piece = per_worker if chunk is None else min(int(chunk), per_worker)
+    starts = list(range(0, n_rows, piece))
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(starts))) as pool:
+        list(pool.map(
+            lambda s: write_block(s, min(s + piece, n_rows)), starts,
+        ))
+
+
+# ----------------------------------------------------------------------
+# Ordered map over independent configurations (experiment grids)
+# ----------------------------------------------------------------------
+
+def parallel_map(fn: Callable, items: Sequence, *, n_jobs: int = 1) -> List:
+    """``[fn(x) for x in items]`` with results in input order.
+
+    ``n_jobs=1`` is literally the list comprehension (exact serial
+    path); otherwise items run on a thread pool.  Threads rather than
+    processes because the experiment runners close over locally built
+    datasets and report objects — unpicklable, but perfectly shareable
+    within a process, and the heavy lifting inside (numpy kernels)
+    releases the GIL.  Exceptions propagate to the caller exactly as in
+    the serial loop.
+    """
+    items = list(items)
+    workers = resolve_n_jobs(n_jobs, n_tasks=len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# ----------------------------------------------------------------------
+# Restart fan-out (processes + shared-memory plane)
+# ----------------------------------------------------------------------
+
+@dataclass
+class RestartFanoutOutcome:
+    """What :func:`run_parallel_restarts` hands back to ``_fit``.
+
+    ``best`` is the winning child's :class:`ProclusResult`;
+    ``winner_notes`` the notes *that child alone* produced (losing
+    restarts' notes are dropped, mirroring the serial loop's per-child
+    note isolation).  ``completed``/``cancelled`` count restarts that
+    ran to completion vs. ones the expired deadline cancelled before
+    they started.  ``restart_seconds`` holds per-restart worker wall
+    times indexed by restart (``None`` for cancelled ones).
+    """
+
+    best: object
+    best_index: int
+    winner_notes: List[str]
+    completed: int
+    cancelled: int
+    restart_seconds: List[Optional[float]]
+    n_workers: int
+
+
+def _restart_worker(descriptor: Dict[str, object], index: int, seed,
+                    remaining_s: Optional[float], fit_kwargs: Dict):
+    """One restart, executed in a pool worker.
+
+    Imports are deferred: this module must stay importable from the
+    distance layer without dragging in the core package (which imports
+    the distance layer right back).
+    """
+    from ..core.proclus import _fit
+
+    X = SharedMatrix.attach(descriptor)
+    deadline = Deadline.start(remaining_s) if remaining_s is not None else None
+    params = dict(fit_kwargs)
+    k = params.pop("k")
+    l = params.pop("l")
+    notes: List[str] = []
+    t0 = time.perf_counter()
+    result = _fit(X, k, l, restarts=1, seed=seed, deadline=deadline,
+                  notes=notes, n_jobs=1, **params)
+    return index, result, notes, time.perf_counter() - t0
+
+
+def run_parallel_restarts(X: np.ndarray, children: Sequence, *,
+                          n_jobs: int,
+                          deadline: Optional[Deadline],
+                          fit_kwargs: Dict) -> RestartFanoutOutcome:
+    """Fan independent restarts out over a process pool.
+
+    Parameters
+    ----------
+    X:
+        The (already sanitized) data matrix; published once to shared
+        memory, attached read-only by every worker.
+    children:
+        Per-restart generators spawned by the caller — the identical
+        streams the serial loop would consume, so each restart computes
+        the identical result in either mode.
+    n_jobs:
+        Worker-count knob (``-1`` = all cores; capped at
+        ``len(children)``).
+    deadline:
+        Optional wall-clock budget.  Workers receive the remaining
+        seconds at fan-out time and self-terminate best-so-far; once the
+        parent observes expiry, not-yet-started restarts are cancelled.
+    fit_kwargs:
+        Keyword arguments for :func:`repro.core.proclus._fit` minus
+        ``X``/``seed``/``deadline``/``notes``/``restarts``/``n_jobs``
+        (must include ``k`` and ``l``).
+
+    The winner is the completed restart minimising
+    ``(iterative_objective, restart_index)`` — exactly the serial
+    first-best-wins rule, independent of completion order.
+    """
+    restarts = len(children)
+    workers = resolve_n_jobs(n_jobs, n_tasks=restarts)
+    remaining = None
+    if deadline is not None and not deadline.unlimited:
+        remaining = deadline.remaining()
+
+    plane = SharedMatrix.publish(X)
+    results: Dict[int, object] = {}
+    child_notes: Dict[int, List[str]] = {}
+    seconds: List[Optional[float]] = [None] * restarts
+    cancelled = 0
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(_restart_worker, plane.descriptor, i, child,
+                            remaining, fit_kwargs)
+                for i, child in enumerate(children)
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    if fut.cancelled():
+                        continue
+                    index, result, notes, secs = fut.result()
+                    results[index] = result
+                    child_notes[index] = notes
+                    seconds[index] = secs
+                if deadline is not None and deadline.expired():
+                    for fut in pending:
+                        if fut.cancel():
+                            cancelled += 1
+                    pending = {f for f in pending if not f.cancelled()}
+    finally:
+        plane.unlink()
+
+    if not results:  # pragma: no cover - at least one future always runs
+        raise ParameterError("no restart completed")
+    best_index = min(
+        results, key=lambda i: (results[i].iterative_objective, i),
+    )
+    return RestartFanoutOutcome(
+        best=results[best_index],
+        best_index=best_index,
+        winner_notes=child_notes[best_index],
+        completed=len(results),
+        cancelled=cancelled,
+        restart_seconds=seconds,
+        n_workers=workers,
+    )

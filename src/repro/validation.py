@@ -21,6 +21,7 @@ __all__ = [
     "check_fraction",
     "check_k_l",
     "check_dimension_subset",
+    "check_n_jobs",
     "check_same_length",
     "check_time_budget",
 ]
@@ -164,6 +165,22 @@ def check_time_budget(value, *, name: str = "time_budget_s"):
         )
     if not np.isfinite(value) or value < 0:
         raise ParameterError(f"{name} must be >= 0 and finite; got {value}")
+    return value
+
+
+def check_n_jobs(value, *, name: str = "n_jobs") -> int:
+    """Validate a worker-count knob: an int ``>= 1``, or ``-1`` (all cores).
+
+    Returns the value unchanged (``-1`` is resolved to a concrete core
+    count later, by :func:`repro.perf.parallel.resolve_n_jobs`).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer; got {value!r}")
+    value = int(value)
+    if value == 0 or value < -1:
+        raise ParameterError(
+            f"{name} must be >= 1, or -1 for all cores; got {value}"
+        )
     return value
 
 

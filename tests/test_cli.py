@@ -12,6 +12,8 @@ class TestParser:
         parser = build_parser()
         parser.parse_args(["generate", "out.csv", "--n-points", "100"])
         parser.parse_args(["cluster", "in.csv", "-k", "3", "-l", "4"])
+        parser.parse_args(["cluster", "in.csv", "-k", "3", "-l", "4",
+                           "--restarts", "3", "--n-jobs", "2"])
         parser.parse_args(["clique", "in.csv", "--tau-percent", "0.5"])
         parser.parse_args(["experiment", "table1"])
         parser.parse_args(["list"])
@@ -103,6 +105,46 @@ class TestEndToEnd:
         text = capsys.readouterr().out
         assert "ORCLUS" in text
         assert "adjusted Rand index" in text
+
+    def test_cluster_with_restarts_and_n_jobs(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        main(["generate", str(out), "--n-points", "400", "--n-dims", "8",
+              "--n-clusters", "2", "--cluster-dims", "3", "3", "--seed", "5"])
+        capsys.readouterr()
+        rc = main(["cluster", str(out), "-k", "2", "-l", "3", "--seed", "5",
+                   "--restarts", "2", "--n-jobs", "2"])
+        assert rc == 0
+        parallel_out = capsys.readouterr().out
+        assert "PROCLUS result" in parallel_out
+        # bit-identity holds through the CLI: the serial run prints the
+        # same summary (modulo the parallelism diagnostics, not printed)
+        rc = main(["cluster", str(out), "-k", "2", "-l", "3", "--seed", "5",
+                   "--restarts", "2"])
+        assert rc == 0
+        assert capsys.readouterr().out == parallel_out
+
+    def test_cluster_rejects_bad_n_jobs(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        main(["generate", str(out), "--n-points", "200", "--n-dims", "6",
+              "--n-clusters", "2", "--cluster-dims", "2", "2", "--seed", "5"])
+        capsys.readouterr()
+        rc = main(["cluster", str(out), "-k", "2", "-l", "2", "--seed", "5",
+                   "--n-jobs", "0"])
+        assert rc == 2
+        assert "n_jobs" in capsys.readouterr().err
+
+    def test_experiment_n_jobs_unsupported_is_typed_error(self, capsys):
+        # theorem31 takes no n_jobs parameter -> ParameterError, exit 2
+        rc = main(["experiment", "theorem31", "--n-points", "1000",
+                   "--n-jobs", "2"])
+        assert rc == 2
+        assert "does not support --n-jobs" in capsys.readouterr().err
+
+    def test_experiment_n_jobs_supported(self, capsys):
+        rc = main(["experiment", "ablation-mindev", "--n-points", "600",
+                   "--n-jobs", "2"])
+        assert rc == 0
+        assert "min_deviation" in capsys.readouterr().out
 
     def test_stability_command(self, tmp_path, capsys):
         out = tmp_path / "data.csv"

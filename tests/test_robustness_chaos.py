@@ -117,3 +117,29 @@ def test_deadline_skips_remaining_restarts():
     )
     assert result.terminated_by == "deadline"
     assert any("restarts" in w for w in result.warnings)
+
+
+def test_deadline_mid_restart_fanout():
+    """Budget expiry while restarts are fanned out over processes.
+
+    Workers self-terminate on their forwarded remaining-seconds budget
+    and the parent cancels not-yet-started restarts, so the call must
+    still return a well-formed best-so-far result with the same budget
+    note the serial loop produces.
+    """
+    ds = generate(800, 10, 3, cluster_dim_counts=[4] * 3, seed=11)
+    result = proclus(
+        ds.points, 3, 4, seed=11, restarts=50, n_jobs=2,
+        max_bad_tries=10**6, max_iterations=10**6,
+        time_budget_s=0.05, keep_history=False,
+    )
+    assert result.terminated_by == "deadline"
+    assert result.labels.shape == (800,)
+    assert np.isfinite(result.objective)
+    notes = [w for w in result.warnings
+             if "time budget exhausted" in w
+             and "returning the best completed run" in w]
+    assert len(notes) == 1
+    p = result.parallelism
+    assert p["n_jobs"] == 2
+    assert p["restarts_completed"] < 50
