@@ -24,6 +24,8 @@ Quickstart::
     print(result.summary())
 """
 
+from __future__ import annotations
+
 from .core import Proclus, ProclusConfig, ProclusResult, proclus
 from .data import Dataset, OUTLIER_LABEL, SyntheticConfig, generate
 from .exceptions import (

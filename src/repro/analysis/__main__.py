@@ -1,0 +1,15 @@
+"""``python -m repro.analysis`` — the lint gate as a module entry point.
+
+Identical to ``proclus lint``; exists so the gate runs in environments
+where the console script is not on ``PATH`` (CI images, editable
+checkouts driven via ``PYTHONPATH``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Argument handling for the lint gate (shared by both entry points).
+
+``proclus lint`` mounts :func:`add_lint_arguments` onto its subparser
+and calls :func:`run_lint`; ``python -m repro.analysis`` builds a tiny
+standalone parser around the same two functions.  Exit codes follow the
+CI contract: ``0`` clean, ``1`` findings, ``2`` usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..exceptions import ReproError
+from .engine import format_json, format_text, lint_paths
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``lint`` options onto ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", dest="output_format", default="text",
+        choices=["text", "json"],
+        help="findings as human-readable lines or a JSON document")
+    parser.add_argument(
+        "--select", nargs="+", default=None, metavar="RPRxxx",
+        help="restrict checking to these rule ids (default: all)")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint gate for parsed arguments; returns exit code."""
+    report = lint_paths(args.paths, select=args.select)
+    if args.output_format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="determinism & contract lint for the PROCLUS "
+                    "reproduction (rules RPR001-RPR005)",
+    )
+    add_lint_arguments(parser)
+    try:
+        return run_lint(parser.parse_args(argv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

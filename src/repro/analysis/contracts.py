@@ -1,0 +1,113 @@
+"""Declared determinism contracts the lint rules check code against.
+
+These tables are the *specification* side of the static analysis: the
+rules in :mod:`repro.analysis.rules` verify that the implementation
+still matches what is declared here.  Changing cached-kernel inputs or
+worker signatures therefore forces a matching edit in this file, which
+is exactly the point — the contract change becomes visible in review
+instead of silently skewing results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "CacheKeyContract",
+    "CACHE_KEY_CONTRACTS",
+    "SHAREABLE_TYPE_NAMES",
+    "DETERMINISM_SCOPED_DIRS",
+    "PUBLIC_API_FILES",
+    "ALLOWED_NP_RANDOM_ATTRS",
+    "WALL_CLOCK_CALLS",
+]
+
+
+@dataclass(frozen=True)
+class CacheKeyContract:
+    """What fully determines one cached product.
+
+    ``store`` is the attribute holding the LRU store inside the cache
+    class; ``key_names`` are the identifiers (parameters or locals
+    derived from them) that must all flow into every ``get``/``put``
+    key built for that store inside the contracted method.  RPR003
+    flags a method whose keys omit any of them — an under-keyed cache
+    returns stale values when the omitted quantity changes, which
+    breaks bit-identity with the uncached path.
+    """
+
+    store: str
+    key_names: Tuple[str, ...]
+
+
+#: class name -> method name -> contract.  Keyed per method because the
+#: same determining quantity appears under different local names (the
+#: scalar ``delta`` in the locality path, the vector ``deltas`` in the
+#: batched statistics path).
+CACHE_KEY_CONTRACTS: Dict[str, Dict[str, CacheKeyContract]] = {
+    "IterativeCache": {
+        # d(X, X[row]) depends on the medoid row and the metric.
+        "distance_columns": CacheKeyContract(
+            store="_distance", key_names=("row", "metric")),
+        # A segmental column depends on the medoid row and its dim set.
+        "segmental_matrix": CacheKeyContract(
+            store="_segmental", key_names=("row", "dims")),
+        # Locality membership depends on the medoid row, its radius,
+        # the fallback floor, and the metric.
+        "locality_members": CacheKeyContract(
+            store="_locality",
+            key_names=("row", "delta", "min_size", "metric")),
+        "store_locality_members": CacheKeyContract(
+            store="_locality",
+            key_names=("row", "delta", "min_size", "metric")),
+        # X_{i,.} rows are determined by the same quantities as the
+        # locality that produced them.
+        "dimension_stats": CacheKeyContract(
+            store="_stats",
+            key_names=("row", "deltas", "min_size", "metric")),
+    },
+}
+
+#: Annotation roots RPR005 accepts on process-pool worker parameters.
+#: Everything here pickles by value (no open handles, no closures) and
+#: round-trips losslessly through ``multiprocessing``'s spawn path.
+SHAREABLE_TYPE_NAMES: FrozenSet[str] = frozenset({
+    # builtins
+    "int", "float", "str", "bool", "bytes", "complex", "None", "object",
+    "dict", "list", "tuple", "set", "frozenset",
+    # typing aliases of the same
+    "Dict", "List", "Tuple", "Set", "FrozenSet", "Optional", "Union",
+    "Sequence", "Mapping", "Iterable", "Any",
+    # numpy values (arrays and Generators pickle by state); "random" is
+    # the module path component in ``np.random.Generator`` annotations
+    "np", "numpy", "random", "ndarray", "Generator", "SeedLike",
+})
+
+#: Directories whose files RPR002 guards: the numeric core, where a
+#: wall-clock read or unordered-set iteration feeding a result value
+#: breaks serial/parallel and cached/uncached bit-identity.
+DETERMINISM_SCOPED_DIRS: Tuple[str, ...] = ("core", "perf", "distance")
+
+#: File basenames RPR004 treats as public API surface in addition to
+#: any file under a ``core`` directory.
+PUBLIC_API_FILES: Tuple[str, ...] = ("cli.py", "__init__.py")
+
+#: ``numpy.random`` attributes that are *not* legacy global-state RNG:
+#: constructing seeded generator machinery is the sanctioned pattern.
+ALLOWED_NP_RANDOM_ATTRS: FrozenSet[str] = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64", "RandomState",
+})
+
+#: Calls RPR002 flags inside the determinism-scoped directories.
+#: ``time.perf_counter``/``monotonic`` stay legal: they only ever feed
+#: duration diagnostics and deadline checks, never result values.
+WALL_CLOCK_CALLS: FrozenSet[str] = frozenset({
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "datetime.datetime.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+})

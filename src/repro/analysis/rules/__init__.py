@@ -1,0 +1,58 @@
+"""Rule registry for the determinism lint engine.
+
+Each rule is a self-contained checker over one parsed file; the engine
+instantiates them through :func:`get_rules`.  Adding a rule means
+adding a module here and listing its class in :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type
+
+from ...exceptions import ParameterError
+from .base import Rule
+from .rpr001_rng import GlobalRngRule
+from .rpr002_nondeterminism import NondeterminismRule
+from .rpr003_cache_keys import CacheKeyRule
+from .rpr004_api_contract import ApiContractRule
+from .rpr005_picklable import PicklableTargetRule
+
+__all__ = [
+    "Rule",
+    "ALL_RULES",
+    "get_rules",
+    "rule_ids",
+]
+
+ALL_RULES: List[Type[Rule]] = [
+    GlobalRngRule,
+    NondeterminismRule,
+    CacheKeyRule,
+    ApiContractRule,
+    PicklableTargetRule,
+]
+
+
+def rule_ids() -> List[str]:
+    """The registered rule ids, in order."""
+    return [cls.rule_id for cls in ALL_RULES]
+
+
+def get_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the registered rules, optionally restricted to ids.
+
+    Unknown ids raise :class:`~repro.exceptions.ParameterError` so a
+    typo in ``--select RPR0001`` fails loudly instead of silently
+    checking nothing.
+    """
+    if select is None:
+        return [cls() for cls in ALL_RULES]
+    wanted = [s.upper() for s in select]
+    known = set(rule_ids())
+    unknown = [s for s in wanted if s not in known]
+    if unknown:
+        raise ParameterError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known rules: {', '.join(sorted(known))}"
+        )
+    return [cls() for cls in ALL_RULES if cls.rule_id in wanted]

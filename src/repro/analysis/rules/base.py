@@ -1,0 +1,116 @@
+"""Shared machinery for the RPR rule checkers.
+
+Every rule gets a parsed :class:`~repro.analysis.engine.FileContext`
+and yields :class:`~repro.analysis.engine.Finding`\\ s.  The helpers
+here do the part all rules need: resolving what a dotted expression
+actually refers to, through whatever import aliases the file uses
+(``import numpy as np``, ``from numpy import random as npr``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..engine import FileContext, Finding
+
+__all__ = [
+    "Rule",
+    "ImportMap",
+    "collect_imports",
+    "dotted_name",
+    "resolve_qualified",
+    "names_in",
+]
+
+ImportMap = Dict[str, str]
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``severity`` and ``check``."""
+
+    rule_id: str = "RPR000"
+    severity: str = "error"
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                hint: str = "") -> Finding:
+        """A finding anchored at ``node``'s source position."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=hint,
+        )
+
+
+def collect_imports(tree: ast.Module) -> ImportMap:
+    """Map local names to the fully qualified thing they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy import random`` -> ``{"random": "numpy.random"}``;
+    ``from random import choice as pick`` -> ``{"pick": "random.choice"}``.
+    Relative imports keep their dots (``from ..exceptions import X`` ->
+    ``{"X": "..exceptions.X"}``) so rules can recognise in-package
+    references without knowing the absolute package path.
+    """
+    out: ImportMap = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds `a.b` to c
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                out[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                out[local] = f"{module}.{alias.name}" if module else alias.name
+    return out
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_qualified(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """The fully qualified dotted name ``node`` refers to, if resolvable.
+
+    ``np.random.rand`` with ``{"np": "numpy"}`` -> ``numpy.random.rand``.
+    Returns ``None`` for expressions that are not plain dotted chains
+    (subscripts, call results, ...).
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    base = imports.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+def names_in(node: ast.AST) -> Set[str]:
+    """All identifier names loaded anywhere inside ``node``."""
+    return {
+        n.id for n in ast.walk(node)
+        if isinstance(n, ast.Name)
+    } | {
+        n.attr for n in ast.walk(node)
+        if isinstance(n, ast.Attribute)
+    }

@@ -1,0 +1,83 @@
+"""RPR001 — no global-state randomness.
+
+Every stochastic entry point of the library threads an explicit
+``numpy.random.Generator`` (normalised by :func:`repro.rng.ensure_rng`,
+split by :func:`repro.rng.spawn`).  A call into the *legacy global*
+numpy RNG (``np.random.rand``, ``np.random.seed``, ...) or the stdlib
+``random`` module draws from interpreter-wide mutable state: the result
+then depends on every other draw the process has made, so two runs with
+the same seed argument diverge — exactly the compounding per-pass
+perturbation failure mode.  Unseeded generator construction
+(``default_rng()`` with no argument) is flagged too: fresh OS entropy is
+fine at the *one* sanctioned normalisation point (``repro.rng``), which
+carries an explicit suppression, and nowhere else.
+
+``conftest.py`` files are whitelisted test fixtures (pytest may seed
+process-global state for third-party plugins there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..contracts import ALLOWED_NP_RANDOM_ATTRS
+from ..engine import FileContext, Finding
+from .base import Rule, collect_imports, dotted_name
+
+__all__ = ["GlobalRngRule"]
+
+#: Generator constructors that are nondeterministic when called with no
+#: seed argument at all.
+_SEEDED_FACTORIES = {"default_rng", "RandomState"}
+
+
+class GlobalRngRule(Rule):
+    rule_id = "RPR001"
+    severity = "error"
+    summary = "all randomness must thread a seeded Generator"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.basename == "conftest.py":
+            return
+        imports = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            head, _, rest = dotted.partition(".")
+            if head not in imports:
+                # an unimported bare name is a local variable, not the
+                # stdlib module — never guess
+                continue
+            base = imports[head]
+            qname = f"{base}.{rest}" if rest else base
+            if qname.startswith("numpy.random."):
+                attr = qname.split(".")[2]
+                if attr not in ALLOWED_NP_RANDOM_ATTRS:
+                    yield self.finding(
+                        ctx, node,
+                        f"call to legacy global-state RNG numpy.random."
+                        f"{attr}",
+                        hint="thread a numpy.random.Generator parameter "
+                             "(repro.rng.ensure_rng / spawn)",
+                    )
+                elif attr in _SEEDED_FACTORIES and not node.args \
+                        and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        f"numpy.random.{attr}() without a seed draws "
+                        "fresh OS entropy",
+                        hint="accept a seed/Generator parameter; only "
+                             "repro.rng.ensure_rng may default to entropy",
+                    )
+            elif qname == "random" or qname.startswith("random."):
+                # the stdlib module: any draw/seed mutates global state
+                yield self.finding(
+                    ctx, node,
+                    f"call into the stdlib global RNG ({qname})",
+                    hint="use a numpy.random.Generator threaded through "
+                         "the call chain instead",
+                )

@@ -1,0 +1,215 @@
+"""RPR005 — process-pool targets must be picklable, declared-shareable.
+
+The parallel layer's bit-identity argument assumes a worker computes
+from exactly what the parent handed it: a module-level function whose
+arguments pickle by value.  A lambda or nested function fails at
+runtime only on the *spawn* start method (macOS/Windows), i.e. passes
+CI on Linux and breaks users; a bound method drags its whole instance
+through pickle, smuggling parent state (open caches, RNG positions)
+into the worker.  So for every target handed to a
+``ProcessPoolExecutor`` / ``multiprocessing`` pool or ``Process``:
+
+* the target must be a module-level function (no lambdas, no nested
+  defs, no ``self.`` methods);
+* every parameter of a target defined in the same file must be
+  annotated, and the annotation may only use the declared-shareable
+  types in :data:`repro.analysis.contracts.SHAREABLE_TYPE_NAMES`.
+
+Thread pools are exempt: no pickling happens in-process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from ..contracts import SHAREABLE_TYPE_NAMES
+from ..engine import FileContext, Finding
+from .base import Rule, collect_imports, dotted_name, names_in
+
+__all__ = ["PicklableTargetRule"]
+
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Constructors whose instances dispatch work to *other processes*.
+_PROCESS_POOL_CTORS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+})
+_PROCESS_CTORS = frozenset({
+    "multiprocessing.Process",
+    "multiprocessing.process.Process",
+})
+#: Pool methods whose first argument is the callable shipped to workers.
+_DISPATCH_METHODS = frozenset({
+    "submit", "map", "imap", "imap_unordered", "starmap",
+    "starmap_async", "apply", "apply_async", "map_async",
+})
+
+
+def _resolve(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    base = imports.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+class PicklableTargetRule(Rule):
+    rule_id = "RPR005"
+    severity = "error"
+    summary = "multiprocessing targets: module-level, shareable args"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = collect_imports(ctx.tree)
+        module_funcs: Dict[str, FuncNode] = {
+            n.name: n for n in ctx.tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        nested = self._nested_defs(ctx)
+
+        # Pool variables are resolved per scope: the same name may hold
+        # a ProcessPoolExecutor in one function and a ThreadPoolExecutor
+        # (exempt — no pickling) in another.
+        for scope in self._scopes(ctx.tree):
+            pool_names = self._pool_bindings(scope, imports)
+            for node in self._walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                targets: List[ast.expr] = []
+                # pool.submit(fn, ...) / pool.map(fn, ...)
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _DISPATCH_METHODS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in pool_names
+                        and node.args):
+                    targets.append(node.args[0])
+                # Process(target=fn)
+                ctor = _resolve(node.func, imports)
+                if ctor in _PROCESS_CTORS:
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            targets.append(kw.value)
+                for target in targets:
+                    yield from self._check_target(
+                        ctx, target, module_funcs, nested=nested)
+
+    # ------------------------------------------------------------------
+    def _scopes(self, tree: ast.Module) -> List[ast.AST]:
+        """The module plus every function, each a distinct name scope."""
+        return [tree] + [
+            n for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def _walk_scope(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``scope`` without descending into nested def/class scopes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _pool_bindings(self, scope: ast.AST,
+                       imports: Dict[str, str]) -> Set[str]:
+        """Names bound to a process-pool instance inside ``scope``."""
+        names: Set[str] = set()
+
+        def is_pool_ctor(value: ast.expr) -> bool:
+            if not isinstance(value, ast.Call):
+                return False
+            qname = _resolve(value.func, imports)
+            return qname in _PROCESS_POOL_CTORS
+
+        for node in self._walk_scope(scope):
+            if isinstance(node, ast.Assign) and is_pool_ctor(node.value):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (is_pool_ctor(item.context_expr)
+                            and isinstance(item.optional_vars, ast.Name)):
+                        names.add(item.optional_vars.id)
+        return names
+
+    def _nested_defs(self, ctx: FileContext) -> Set[str]:
+        """Names of functions defined inside other functions."""
+        nested: Set[str] = set()
+        for outer in ast.walk(ctx.tree):
+            if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(outer):
+                    if (inner is not outer
+                            and isinstance(inner, (ast.FunctionDef,
+                                                   ast.AsyncFunctionDef))):
+                        nested.add(inner.name)
+        return nested
+
+    # ------------------------------------------------------------------
+    def _check_target(self, ctx: FileContext, target: ast.expr,
+                      module_funcs: Dict[str, FuncNode],
+                      nested: Set[str]) -> Iterator[Finding]:
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                ctx, target,
+                "lambda shipped to a process pool is not picklable",
+                hint="define a module-level worker function instead",
+            )
+            return
+        if isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                yield self.finding(
+                    ctx, target,
+                    "bound method shipped to a process pool pickles the "
+                    "whole instance",
+                    hint="use a module-level function taking only "
+                         "declared-shareable arguments",
+                )
+            return
+        if not isinstance(target, ast.Name):
+            return
+        if target.id in module_funcs:
+            yield from self._check_worker(ctx, module_funcs[target.id])
+        elif target.id in nested:
+            yield self.finding(
+                ctx, target,
+                f"nested function {target.id!r} shipped to a process "
+                "pool is not picklable",
+                hint="move the worker to module level",
+            )
+        # imported names are module-level in their own file: checked there
+
+    def _check_worker(self, ctx: FileContext,
+                      func: FuncNode) -> Iterator[Finding]:
+        a = func.args
+        params = list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+        for extra in (a.vararg, a.kwarg):
+            if extra is not None:
+                params.append(extra)
+        for param in params:
+            if param.annotation is None:
+                yield self.finding(
+                    ctx, func,
+                    f"worker {func.name} parameter {param.arg!r} is not "
+                    "annotated with a declared-shareable type",
+                    hint="annotate every worker parameter; allowed roots "
+                         "live in repro/analysis/contracts.py",
+                )
+                continue
+            undeclared = sorted(
+                names_in(param.annotation) - SHAREABLE_TYPE_NAMES
+            )
+            if undeclared:
+                yield self.finding(
+                    ctx, func,
+                    f"worker {func.name} parameter {param.arg!r} uses "
+                    f"undeclared type name(s): {', '.join(undeclared)}",
+                    hint="workers may only take types listed in "
+                         "SHAREABLE_TYPE_NAMES (values that pickle by "
+                         "value)",
+                )

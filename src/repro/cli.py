@@ -15,6 +15,9 @@ Subcommands
 ``experiment``
     Run a registered paper experiment (``table1`` .. ``table5``,
     ``fig7`` .. ``fig9``, ablations) and print its report.
+``lint``
+    Run the determinism & contract lint gate (rules RPR001-RPR005)
+    over source trees; exits nonzero on any finding.
 ``list``
     List available experiments.
 """
@@ -136,6 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the experiment's config grid concurrently "
                         "(experiments that accept n_jobs only; timings "
                         "of concurrent configs share the machine)")
+
+    ln = sub.add_parser(
+        "lint",
+        help="determinism & contract lint (RPR001-RPR005)",
+        description="Static analysis of the library's determinism "
+                    "contracts: seeded-Generator threading, wall-clock "
+                    "hygiene, cache-key completeness, API typing, and "
+                    "multiprocessing picklability. Exit code 0 means "
+                    "every contract holds.",
+    )
+    from .analysis.cli import add_lint_arguments
+    add_lint_arguments(ln)
 
     sub.add_parser("list", help="list available experiments")
     return parser
@@ -271,6 +286,11 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis.cli import run_lint
+    return run_lint(args)
+
+
 def _cmd_list(args) -> int:
     for name, desc in list_experiments():
         print(f"{name:<16} {desc}")
@@ -288,6 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "orclus": _cmd_orclus,
         "stability": _cmd_stability,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
         "list": _cmd_list,
     }
     try:

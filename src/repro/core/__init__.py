@@ -24,6 +24,8 @@ Use :class:`~repro.core.proclus.Proclus` (estimator API) or
 :func:`~repro.core.proclus.proclus` (one-call functional API).
 """
 
+from __future__ import annotations
+
 from .assignment import assign_points
 from .config import ProclusConfig
 from .diagnostics import (

@@ -15,7 +15,7 @@ previous vertex.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,7 +57,8 @@ def assign_points(X: np.ndarray, medoids: np.ndarray,
                   dim_sets: Sequence[Sequence[int]],
                   return_distances: bool = False, *,
                   cache: Optional["IterativeCache"] = None,
-                  medoid_indices: Optional[np.ndarray] = None):
+                  medoid_indices: Optional[np.ndarray] = None,
+                  ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """Assign every point to its segmentally-closest medoid.
 
     Returns the label array (ids ``0..k-1``); with

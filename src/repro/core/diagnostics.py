@@ -120,7 +120,7 @@ class LocalityReport:
         )
 
 
-def locality_report(X, medoid_indices: Sequence[int], *,
+def locality_report(X: np.ndarray, medoid_indices: Sequence[int], *,
                     metric: Union[str, Metric] = "euclidean") -> LocalityReport:
     """Locality sizes and radii for a concrete medoid set."""
     X = check_array(X, name="X")

@@ -206,7 +206,7 @@ def _mask_excluded(z: np.ndarray,
     """
     if not exclude_dims:
         return z
-    cols = [j for j in set(int(j) for j in exclude_dims)
+    cols = [j for j in sorted(set(int(j) for j in exclude_dims))
             if 0 <= j < z.shape[1]]
     if not cols or len(cols) >= z.shape[1]:
         return z

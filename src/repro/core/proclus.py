@@ -268,7 +268,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
     )
 
 
-def proclus(X, k: int, l: float, *,
+def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
             sample_factor: int = 30, pool_factor: int = 5,
             min_deviation: float = 0.1, max_bad_tries: int = 20,
             max_iterations: int = 300,
@@ -459,7 +459,7 @@ class Proclus:
                  time_budget_s: Optional[float] = None,
                  cache: bool = True,
                  n_jobs: int = 1,
-                 seed: SeedLike = None):
+                 seed: SeedLike = None) -> None:
         self.k = k
         self.l = l
         self.sample_factor = sample_factor
@@ -483,7 +483,7 @@ class Proclus:
         self.result_: Optional[ProclusResult] = None
 
     # ------------------------------------------------------------------
-    def fit(self, X) -> "Proclus":
+    def fit(self, X: Union[np.ndarray, Dataset]) -> "Proclus":
         """Cluster ``X`` (array or Dataset); returns ``self``."""
         self.result_ = proclus(
             X, self.k, self.l,
@@ -508,11 +508,11 @@ class Proclus:
         )
         return self
 
-    def fit_predict(self, X) -> np.ndarray:
+    def fit_predict(self, X: Union[np.ndarray, Dataset]) -> np.ndarray:
         """Fit and return the label array."""
         return self.fit(X).labels_
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: Union[np.ndarray, Dataset]) -> np.ndarray:
         """Assign *new* points to the fitted medoids (no outlier logic)."""
         result = self._fitted()
         if isinstance(X, Dataset):

@@ -19,7 +19,7 @@ for l."  This module packages that workflow:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -138,9 +138,9 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def sweep_l(X, k: int, l_values: Sequence[float], *,
+def sweep_l(X: np.ndarray, k: int, l_values: Sequence[float], *,
             criterion: Optional[Criterion] = None,
-            seed: SeedLike = None, **proclus_kwargs) -> SweepResult:
+            seed: SeedLike = None, **proclus_kwargs: Any) -> SweepResult:
     """Run PROCLUS for each candidate ``l`` and rank by ``criterion``.
 
     Parameters
@@ -179,9 +179,9 @@ def sweep_l(X, k: int, l_values: Sequence[float], *,
                        results=results)
 
 
-def sweep_k(X, k_values: Sequence[int], l: float, *,
+def sweep_k(X: np.ndarray, k_values: Sequence[int], l: float, *,
             criterion: Optional[Criterion] = None,
-            seed: SeedLike = None, **proclus_kwargs) -> SweepResult:
+            seed: SeedLike = None, **proclus_kwargs: Any) -> SweepResult:
     """Run PROCLUS for each candidate ``k`` and rank by ``criterion``."""
     X = check_array(X, name="X")
     if not k_values:

@@ -26,6 +26,8 @@ bit-identical results (enforced by the tier-1 property suite), and so
 do serial and parallel ones.
 """
 
+from __future__ import annotations
+
 from .cache import CacheStats, IterativeCache
 from .kernels import build_dims_layout, segmental_columns
 from .parallel import (

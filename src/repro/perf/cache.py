@@ -78,7 +78,7 @@ class _LruStore:
     :meth:`discard_rows` can drop everything a swap invalidated.
     """
 
-    def __init__(self, budget_bytes: int, stats: CacheStats):
+    def __init__(self, budget_bytes: int, stats: CacheStats) -> None:
         self._data: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._budget = int(budget_bytes)
         self.nbytes = 0
@@ -107,7 +107,7 @@ class _LruStore:
             self.nbytes -= evicted.nbytes
             self.stats.evictions += 1
 
-    def discard_rows(self, rows) -> None:
+    def discard_rows(self, rows: Union[int, Sequence[int], np.ndarray]) -> None:
         doomed = set(int(r) for r in np.atleast_1d(rows))
         for key in [k for k in self._data if k[0] in doomed]:
             self.nbytes -= self._data.pop(key).nbytes
@@ -144,7 +144,7 @@ class IterativeCache:
     radius provably share the same members (and therefore statistics).
     """
 
-    def __init__(self, memory_budget_bytes: Optional[int] = None):
+    def __init__(self, memory_budget_bytes: Optional[int] = None) -> None:
         budget = (DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None
                   else int(memory_budget_bytes))
         self.memory_budget_bytes = budget
@@ -168,7 +168,7 @@ class IterativeCache:
                 store.clear()
             self._X = X
 
-    def discard_rows(self, rows) -> None:
+    def discard_rows(self, rows: Union[int, Sequence[int], np.ndarray]) -> None:
         """Drop every cached product of the given medoid rows.
 
         Called after a non-improving vertex: its swapped-in medoids are
@@ -182,7 +182,7 @@ class IterativeCache:
             store.discard_rows(rows)
 
     @staticmethod
-    def _metric_key(metric: MetricLike):
+    def _metric_key(metric: MetricLike) -> int:
         m = get_metric(metric)
         return id(m)
 

@@ -47,9 +47,13 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - deferred heavy import
+    from multiprocessing.shared_memory import SharedMemory
 
 from ..exceptions import ParameterError
 from ..robustness.guards import Deadline
@@ -99,7 +103,8 @@ class SharedMatrix:
     no per-task pickling of the data matrix.
     """
 
-    def __init__(self, shm, shape: Tuple[int, ...], dtype: str):
+    def __init__(self, shm: "SharedMemory", shape: Tuple[int, ...],
+                 dtype: str) -> None:
         self._shm = shm
         self.shape = tuple(int(s) for s in shape)
         self.dtype = dtype
@@ -248,8 +253,10 @@ class RestartFanoutOutcome:
     n_workers: int
 
 
-def _restart_worker(descriptor: Dict[str, object], index: int, seed,
-                    remaining_s: Optional[float], fit_kwargs: Dict):
+def _restart_worker(
+    descriptor: Dict[str, object], index: int, seed: np.random.Generator,
+    remaining_s: Optional[float], fit_kwargs: Dict,
+) -> Tuple[int, object, List[str], float]:
     """One restart, executed in a pool worker.
 
     Imports are deferred: this module must stay importable from the

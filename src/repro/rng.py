@@ -28,7 +28,8 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     not copied — callers who need isolation should use :func:`spawn`).
     """
     if seed is None:
-        return np.random.default_rng()
+        # the one sanctioned fresh-entropy point in the library
+        return np.random.default_rng()  # repr: noqa RPR001
     if isinstance(seed, np.random.Generator):
         return seed
     if isinstance(seed, (int, np.integer)):

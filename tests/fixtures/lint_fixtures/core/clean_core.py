@@ -1,0 +1,25 @@
+"""Lint fixture: a core-scoped module that honours every contract."""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+
+def shuffled_copy(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Randomness threads an explicit Generator parameter."""
+    out = np.array(values, copy=True)
+    rng.shuffle(out)
+    return out
+
+
+def timed_lengths(groups: List[List[int]]) -> List[int]:
+    """perf_counter durations and sorted-set iteration are both legal."""
+    t0 = time.perf_counter()
+    sizes = [len(g) for g in groups]
+    for tag in sorted({"a", "b"}):
+        sizes.append(len(tag))
+    sizes.append(int(time.perf_counter() - t0 >= 0.0))
+    return sizes

@@ -1,0 +1,20 @@
+"""Lint fixture: nondeterminism primitives inside a core/ module."""
+
+import os
+import time
+
+
+def stamp(values):
+    t = time.time()                     # wall clock feeding a result
+    salt = os.urandom(8)                # OS entropy
+    out = []
+    for x in {3, 1, 2}:                 # unordered set iteration
+        out.append(x)
+    doubled = [v for v in set(values)]  # unordered set comprehension
+    return t, salt, out, doubled
+
+
+def legal_duration(values):
+    t0 = time.perf_counter()            # allowed: duration diagnostics
+    ordered = [v for v in sorted(set(values))]  # allowed: pinned order
+    return ordered, time.perf_counter() - t0

@@ -1,0 +1,12 @@
+"""Lint fixture: public API with missing annotations and builtin raise."""
+
+
+def cluster(data, k: int):
+    if k < 1:
+        raise ValueError("k must be positive")
+    return data
+
+
+def _private_helper(x):
+    # private: annotations not required by RPR004
+    return x

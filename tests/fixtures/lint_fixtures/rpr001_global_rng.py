@@ -1,0 +1,13 @@
+"""Lint fixture: every flavour of RPR001 global-state randomness."""
+
+import random
+
+import numpy as np
+
+
+def sample(n):
+    np.random.seed(42)              # global reseed
+    vals = np.random.rand(n)        # legacy global draw
+    random.shuffle(vals)            # stdlib global RNG
+    gen = np.random.default_rng()   # unseeded factory
+    return vals, gen

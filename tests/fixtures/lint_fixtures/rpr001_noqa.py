@@ -1,0 +1,7 @@
+"""Lint fixture: a suppressed RPR001 finding must not be reported."""
+
+import numpy as np
+
+
+def entropy():
+    return np.random.default_rng()  # repr: noqa RPR001 -- sanctioned here

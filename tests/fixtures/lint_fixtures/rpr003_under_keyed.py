@@ -1,0 +1,35 @@
+"""Lint fixture: an IterativeCache whose distance keys omit the metric,
+plus a store access from a method with no declared contract."""
+
+
+class IterativeCache:
+    def distance_columns(self, X, rows, metric):
+        for row in rows:
+            col = self._distance.get((int(row),))  # under-keyed: no metric
+            if col is None:
+                self._distance.put((int(row),), X[row])
+        return X
+
+    def segmental_matrix(self, X, rows, dim_sets):
+        for row, dims in zip(rows, dim_sets):
+            key = (int(row), tuple(dims))
+            if self._segmental.get(key) is None:
+                self._segmental.put(key, X[row])
+        return X
+
+    def locality_members(self, row, delta, min_size, metric):
+        return self._locality.get((row, delta, min_size, metric))
+
+    def store_locality_members(self, row, delta, min_size, metric, members):
+        self._locality.put((row, delta, min_size, metric), members)
+
+    def dimension_stats(self, X, rows, localities, deltas, min_size, metric):
+        for i, row in enumerate(rows):
+            key = (row, deltas[i], min_size, metric)
+            if self._stats.get(key) is None:
+                self._stats.put(key, X[row])
+        return X
+
+    def peek(self, row):
+        # undeclared: no contract covers this access
+        return self._distance.get((row, "euclidean"))

@@ -1,0 +1,19 @@
+"""Lint fixture: unpicklable / undeclared process-pool targets."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(items):
+    def helper(x):
+        return x + 1
+
+    with ProcessPoolExecutor() as pool:
+        a = list(pool.map(lambda x: x * 2, items))   # lambda target
+        b = list(pool.map(helper, items))            # nested def target
+        c = pool.submit(_worker, 1, None).result()
+    return a, b, c
+
+
+def _worker(x, handle: Socket) -> int:  # noqa: F821 - fixture, never imported
+    # x unannotated; Socket not a declared-shareable type
+    return x
