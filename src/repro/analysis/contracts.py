@@ -82,6 +82,9 @@ SHAREABLE_TYPE_NAMES: FrozenSet[str] = frozenset({
     # numpy values (arrays and Generators pickle by state); "random" is
     # the module path component in ``np.random.Generator`` annotations
     "np", "numpy", "random", "ndarray", "Generator", "SeedLike",
+    # frozen value dataclass shipped to supervised fan-out workers
+    # (repro.robustness.faults.ProcessFaultSpec: plain scalars only)
+    "ProcessFaultSpec",
 })
 
 #: Directories whose files RPR002 guards: the numeric core, where a

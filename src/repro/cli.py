@@ -34,7 +34,8 @@ from .baselines.clique import Clique
 from .core.proclus import proclus
 from .data.io import load_csv, save_csv
 from .data.synthetic import generate
-from .exceptions import ParameterError, ReproError, SanitizationWarning
+from .exceptions import (CheckpointError, ParameterError, ReproError,
+                         SanitizationWarning)
 from .experiments.registry import get_experiment, list_experiments
 from .metrics.confusion import confusion_matrix
 from .metrics.external import adjusted_rand_index
@@ -86,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "1 = serial (default), N >= 2 fans restarts out "
                         "over N processes, -1 = all cores; results are "
                         "bit-identical for any value")
+    c.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget per restart for crashed/hung "
+                        "workers in the multi-restart fan-out; retries "
+                        "replay the identical seed stream (default 2)")
+    c.add_argument("--restart-timeout-s", type=float, default=None,
+                   metavar="SECONDS",
+                   help="treat a restart as hung after this many "
+                        "seconds and replace its worker (default: off)")
+    c.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="persist each completed restart atomically under "
+                        "DIR; an interrupted run (exit code 130) can be "
+                        "resumed with --resume")
+    c.add_argument("--resume", action="store_true",
+                   help="resume a checkpointed run from --checkpoint-dir; "
+                        "the result is bit-identical to an uninterrupted "
+                        "run")
     c.add_argument("--on-bad-values", default="drop",
                    choices=["raise", "drop", "impute_median", "clip"],
                    help="policy for NaN/inf cells in the input "
@@ -215,6 +232,10 @@ def _cmd_cluster(args) -> int:
             time_budget_s=args.time_budget,
             restarts=args.restarts,
             n_jobs=args.n_jobs,
+            max_retries=args.max_retries,
+            restart_timeout_s=args.restart_timeout_s,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
             seed=args.seed,
         )
     print(result.summary())
@@ -223,6 +244,10 @@ def _cmd_cluster(args) -> int:
         print(confusion_matrix(result.labels, ds.labels).to_table())
         print(f"\nadjusted Rand index = "
               f"{adjusted_rand_index(result.labels, ds.labels):.3f}")
+    if result.terminated_by == "signal":
+        # POSIX convention for interrupted commands (128 + SIGINT);
+        # the partial result above is still valid and checkpointed
+        return 130
     return 0
 
 
@@ -313,6 +338,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except CheckpointError as exc:
+        # distinct code so wrappers can tell "fix your --resume flags"
+        # from ordinary usage errors (see docs/robustness.md)
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -27,6 +27,7 @@ from ..rng import SeedLike
 from ..validation import (
     check_fraction,
     check_k_l,
+    check_max_retries,
     check_n_jobs,
     check_positive_int,
     check_time_budget,
@@ -77,6 +78,30 @@ class ProclusConfig:
         serial code path, ``>= 2`` fans multi-restart fits out over a
         process pool with a shared-memory data plane, ``-1`` uses all
         cores.  Results are bit-identical for any value.
+    max_retries:
+        Retry budget per restart under the fault-tolerant supervisor
+        (:mod:`repro.robustness.supervisor`): a crashed or hung worker's
+        restart is resubmitted up to this many times (deterministic —
+        each attempt replays the identical seed stream) before the
+        restart degrades to the in-process serial loop.  ``0`` disables
+        retries (failed restarts go straight to serial salvage).
+    restart_timeout_s:
+        Per-restart wall-clock cap in the multi-restart fan-out;
+        an in-flight restart exceeding it is treated as hung: the
+        worker is replaced and the restart charged a retry.  ``None``
+        (default) disables hang detection.
+    checkpoint_dir:
+        Directory for atomic per-restart checkpoints of a multi-restart
+        fit.  Each completed restart persists immediately; an
+        interrupted run can later be resumed (``resume=True``) and is
+        bit-identical to an uninterrupted one.  ``None`` (default)
+        disables checkpointing.
+    resume:
+        Resume a previous checkpointed run from ``checkpoint_dir``:
+        completed restarts are loaded, only the remainder is computed.
+        Requires ``checkpoint_dir``; raises
+        :class:`~repro.exceptions.CheckpointError` when the directory
+        records a different run (other seed, restarts, or parameters).
     seed:
         Seed or generator for all randomised steps.
     """
@@ -93,6 +118,10 @@ class ProclusConfig:
     time_budget_s: Optional[float] = None
     cache: bool = True
     n_jobs: int = 1
+    max_retries: int = 2
+    restart_timeout_s: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
     seed: SeedLike = None
     extra: dict = field(default_factory=dict)
 
@@ -117,6 +146,16 @@ class ProclusConfig:
         self.time_budget_s = check_time_budget(self.time_budget_s)
         self.cache = bool(self.cache)
         self.n_jobs = check_n_jobs(self.n_jobs)
+        self.max_retries = check_max_retries(self.max_retries)
+        self.restart_timeout_s = check_time_budget(
+            self.restart_timeout_s, name="restart_timeout_s")
+        self.resume = bool(self.resume)
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir = str(self.checkpoint_dir)
+        if self.resume and self.checkpoint_dir is None:
+            raise ParameterError(
+                "resume=True requires checkpoint_dir to be set"
+            )
         if self.min_dims_per_cluster > self.l:
             raise ParameterError(
                 f"min_dims_per_cluster={self.min_dims_per_cluster} exceeds l={self.l}"

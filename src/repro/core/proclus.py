@@ -27,12 +27,13 @@ from ..exceptions import (
     SanitizationWarning,
 )
 from ..perf.cache import IterativeCache
-from ..perf.parallel import resolve_n_jobs, run_parallel_restarts
+from ..perf.parallel import resolve_n_jobs
 from ..rng import SeedLike, ensure_rng, spawn
 from ..robustness.fallback import kmedoids_fallback, plan_degradation
 from ..robustness.guards import Deadline
 from ..robustness.sanitize import SanitizationReport, sanitize
-from ..validation import check_array, check_n_jobs
+from ..validation import (check_array, check_max_retries, check_n_jobs,
+                          check_time_budget)
 from .assignment import assign_points
 from .config import ProclusConfig
 from .initialization import initialize_medoid_pool
@@ -53,84 +54,84 @@ def _fit(X: np.ndarray, k: int, l: float, *,
          deadline: Optional[Deadline],
          exclude_dims: Sequence[int],
          notes: List[str], cache: bool = True,
-         n_jobs: int = 1) -> ProclusResult:
+         n_jobs: int = 1, max_retries: int = 2,
+         restart_timeout_s: Optional[float] = None,
+         checkpoint_dir: Optional[str] = None,
+         resume: bool = False) -> ProclusResult:
     """Fit on already-sanitized data (the body behind :func:`proclus`)."""
     if restarts > 1:
+        # Multi-restart runs execute under the fault-tolerant supervisor
+        # (crash retry, hang replacement, checkpoint/resume, signal-safe
+        # shutdown); both its loops reduce the winner by the
+        # order-independent key (iterative_objective, restart_index),
+        # which equals the historical serial first-best-wins choice.
+        from ..robustness.supervisor import (RunCheckpoint,
+                                             run_serial_restarts,
+                                             supervise_restarts)
+
         rng = ensure_rng(seed)
         children = spawn(rng, restarts)
+        fit_kwargs = dict(
+            k=k, l=l,
+            sample_factor=sample_factor, pool_factor=pool_factor,
+            min_deviation=min_deviation,
+            max_bad_tries=max_bad_tries,
+            max_iterations=max_iterations, metric=metric,
+            min_dims_per_cluster=min_dims_per_cluster,
+            handle_outliers=handle_outliers,
+            keep_history=keep_history,
+            fit_sample_size=fit_sample_size,
+            exclude_dims=exclude_dims, cache=cache,
+        )
+        checkpoint = None
+        if checkpoint_dir is not None:
+            checkpoint = RunCheckpoint.open(
+                checkpoint_dir, children=children,
+                fit_kwargs=fit_kwargs, resume=resume,
+            )
         fan_t0 = time.perf_counter()
         if resolve_n_jobs(n_jobs, n_tasks=restarts) > 1:
-            outcome = run_parallel_restarts(
+            outcome = supervise_restarts(
                 X, children, n_jobs=n_jobs, deadline=deadline,
-                fit_kwargs=dict(
-                    k=k, l=l,
-                    sample_factor=sample_factor, pool_factor=pool_factor,
-                    min_deviation=min_deviation,
-                    max_bad_tries=max_bad_tries,
-                    max_iterations=max_iterations, metric=metric,
-                    min_dims_per_cluster=min_dims_per_cluster,
-                    handle_outliers=handle_outliers,
-                    keep_history=keep_history,
-                    fit_sample_size=fit_sample_size,
-                    exclude_dims=exclude_dims, cache=cache,
-                ),
+                fit_kwargs=fit_kwargs, max_retries=max_retries,
+                restart_timeout_s=restart_timeout_s, checkpoint=checkpoint,
             )
-            best = outcome.best
-            # only the winning child's notes survive, as in the serial
-            # loop below; losers' notes describe runs that were discarded
-            notes.extend(outcome.winner_notes)
-            if outcome.cancelled:
-                notes.append(
-                    f"time budget exhausted after {outcome.completed} of "
-                    f"{restarts} restarts; returning the best completed run"
-                )
-            best.parallelism = {
-                "n_jobs": n_jobs,
-                "n_workers": outcome.n_workers,
-                "restarts_completed": outcome.completed,
-                "restart_seconds": outcome.restart_seconds,
-                "wall_seconds": time.perf_counter() - fan_t0,
-            }
-            return best
-
-        best: Optional[ProclusResult] = None
-        best_notes: List[str] = []
-        restart_seconds: List[Optional[float]] = [None] * restarts
-        completed = 0
-        for i, child in enumerate(children):
-            child_notes: List[str] = []
-            t0 = time.perf_counter()
-            candidate = _fit(
-                X, k, l,
-                sample_factor=sample_factor, pool_factor=pool_factor,
-                min_deviation=min_deviation, max_bad_tries=max_bad_tries,
-                max_iterations=max_iterations, metric=metric,
-                min_dims_per_cluster=min_dims_per_cluster,
-                handle_outliers=handle_outliers, keep_history=keep_history,
-                restarts=1, fit_sample_size=fit_sample_size, seed=child,
-                deadline=deadline, exclude_dims=exclude_dims,
-                notes=child_notes, cache=cache, n_jobs=1,
+        else:
+            outcome = run_serial_restarts(
+                X, children, deadline=deadline, fit_kwargs=fit_kwargs,
+                checkpoint=checkpoint,
             )
-            restart_seconds[i] = time.perf_counter() - t0
-            completed = i + 1
-            if best is None or candidate.iterative_objective < best.iterative_objective:
-                best = candidate
-                best_notes = child_notes
-            if deadline is not None and deadline.expired() and i + 1 < restarts:
-                break
-        notes.extend(best_notes)
-        if completed < restarts:
+        best = outcome.best
+        # only the winning child's notes survive, as in the historical
+        # serial loop; losers' notes describe runs that were discarded
+        notes.extend(outcome.winner_notes)
+        if outcome.interrupted:
             notes.append(
-                f"time budget exhausted after {completed} of {restarts} "
-                "restarts; returning the best completed run"
+                f"interrupted by signal after {outcome.completed} of "
+                f"{restarts} restarts; returning the best completed run"
+            )
+            best.terminated_by = "signal"
+        elif outcome.cancelled:
+            notes.append(
+                f"time budget exhausted after {outcome.completed} of "
+                f"{restarts} restarts; returning the best completed run"
             )
         best.parallelism = {
             "n_jobs": n_jobs,
-            "n_workers": 1,
-            "restarts_completed": completed,
-            "restart_seconds": restart_seconds,
+            "n_workers": outcome.n_workers,
+            "restarts_completed": outcome.completed,
+            "restart_seconds": outcome.restart_seconds,
             "wall_seconds": time.perf_counter() - fan_t0,
         }
+        ft = outcome.fault_tolerance
+        if ft is not None and not (
+            checkpoint is not None or outcome.interrupted
+            or any(ft[key] for key in (
+                "retries", "respawns", "timeouts", "corrupt_payloads",
+                "salvaged_serial", "resumed_from"))
+        ):
+            ft = None  # an uneventful run reports no fault diagnostics
+        best.fault_tolerance = ft
         return best
 
     if fit_sample_size is not None and fit_sample_size < X.shape[0]:
@@ -284,6 +285,10 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
             time_budget_s: Optional[float] = None,
             cache: bool = True,
             n_jobs: int = 1,
+            max_retries: int = 2,
+            restart_timeout_s: Optional[float] = None,
+            checkpoint_dir: Optional[str] = None,
+            resume: bool = False,
             seed: SeedLike = None) -> ProclusResult:
     """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
 
@@ -358,6 +363,28 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
         order-independent.  Worker/timing diagnostics land on
         ``result.parallelism``.  Each worker builds its own
         :class:`~repro.perf.cache.IterativeCache` when ``cache=True``.
+    max_retries:
+        Per-restart retry budget under the fault-tolerant supervisor
+        that runs every multi-restart fit: a crashed or hung worker's
+        restart is resubmitted (replaying the identical seed stream, so
+        retries are bit-deterministic) up to this many times, then
+        degrades to the in-process serial loop.  ``0`` disables
+        retries.  Diagnostics land on ``result.fault_tolerance``.
+    restart_timeout_s:
+        Wall-clock cap per restart in the parallel fan-out; an
+        in-flight restart exceeding it is treated as hung and charged a
+        retry.  ``None`` (default) disables hang detection.
+    checkpoint_dir:
+        Persist every completed restart of a multi-restart fit to this
+        directory (atomic write-temp-then-rename).  An interrupted run
+        — SIGINT/SIGTERM returns best-so-far with
+        ``result.terminated_by == "signal"`` — can then be resumed.
+    resume:
+        Resume from ``checkpoint_dir``: completed restarts are loaded
+        and skipped, and the final result is bit-identical to an
+        uninterrupted run.  A manifest recorded by a different run
+        (other seed, restarts, or parameters) raises
+        :class:`~repro.exceptions.CheckpointError`.
 
     Other parameters are documented on
     :class:`~repro.core.config.ProclusConfig`.
@@ -367,6 +394,11 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
     if restarts < 1:
         raise ParameterError(f"restarts must be >= 1; got {restarts}")
     n_jobs = check_n_jobs(n_jobs)
+    max_retries = check_max_retries(max_retries)
+    restart_timeout_s = check_time_budget(
+        restart_timeout_s, name="restart_timeout_s")
+    if resume and checkpoint_dir is None:
+        raise ParameterError("resume=True requires checkpoint_dir to be set")
     deadline = Deadline.start(time_budget_s) if time_budget_s is not None else None
 
     notes: List[str] = []
@@ -412,6 +444,9 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
                 restarts=restarts, fit_sample_size=fit_sample_size,
                 seed=seed, deadline=deadline, exclude_dims=exclude_dims,
                 notes=notes, cache=cache, n_jobs=n_jobs,
+                max_retries=max_retries,
+                restart_timeout_s=restart_timeout_s,
+                checkpoint_dir=checkpoint_dir, resume=resume,
             )
         except (ParameterError, DataError) as exc:
             if not auto_degrade:
@@ -459,6 +494,10 @@ class Proclus:
                  time_budget_s: Optional[float] = None,
                  cache: bool = True,
                  n_jobs: int = 1,
+                 max_retries: int = 2,
+                 restart_timeout_s: Optional[float] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = False,
                  seed: SeedLike = None) -> None:
         self.k = k
         self.l = l
@@ -479,6 +518,10 @@ class Proclus:
         self.time_budget_s = time_budget_s
         self.cache = cache
         self.n_jobs = n_jobs
+        self.max_retries = max_retries
+        self.restart_timeout_s = restart_timeout_s
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self.seed = seed
         self.result_: Optional[ProclusResult] = None
 
@@ -504,6 +547,10 @@ class Proclus:
             time_budget_s=self.time_budget_s,
             cache=self.cache,
             n_jobs=self.n_jobs,
+            max_retries=self.max_retries,
+            restart_timeout_s=self.restart_timeout_s,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
             seed=self.seed,
         )
         return self

@@ -55,8 +55,10 @@ class ProclusResult:
         Why the hill climbing stopped: ``"no_improvement"`` (its
         convergence criterion), ``"pool_exhausted"``,
         ``"max_iterations"``, ``"deadline"`` (wall-clock budget hit —
-        best-so-far returned), or ``"fallback_kmedoids"`` (the
-        degradation ladder bottomed out).
+        best-so-far returned), ``"signal"`` (SIGINT/SIGTERM stopped a
+        supervised multi-restart run — best completed restart
+        returned), or ``"fallback_kmedoids"`` (the degradation ladder
+        bottomed out).
     warnings:
         Messages from the robustness layer: sanitization actions and
         every degradation-ladder rung that fired.  Empty for a clean,
@@ -84,6 +86,14 @@ class ProclusResult:
         fan-out's total ``wall_seconds``.  ``None`` for single-restart
         fits.  Feed it to :func:`repro.core.diagnostics.parallel_report`
         for an efficiency summary.
+    fault_tolerance:
+        Supervisor diagnostics when a multi-restart fit ran under the
+        fault-tolerant supervisor (checkpointing, retries, or a signal
+        in play): retry/respawn/timeout counters, restarts salvaged by
+        the serial degradation path, restarts resumed from a
+        checkpoint, and whether a signal terminated the run (in which
+        case ``terminated_by`` is ``"signal"``).  ``None`` for plain
+        fits.
     """
 
     labels: np.ndarray
@@ -102,6 +112,7 @@ class ProclusResult:
     sanitization: Optional["SanitizationReport"] = None
     cache_stats: Optional[Dict[str, Dict[str, float]]] = None
     parallelism: Optional[Dict[str, object]] = None
+    fault_tolerance: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -163,6 +174,8 @@ class ProclusResult:
             "cache_stats": self.cache_stats,
             "parallelism": (dict(self.parallelism)
                             if self.parallelism is not None else None),
+            "fault_tolerance": (dict(self.fault_tolerance)
+                                if self.fault_tolerance is not None else None),
         }
 
     def summary(self) -> str:

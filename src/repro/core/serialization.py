@@ -41,6 +41,7 @@ def save_result(result: ProclusResult, path: PathLike) -> Path:
         "degraded": bool(result.degraded),
         "cache_stats": result.cache_stats,
         "parallelism": result.parallelism,
+        "fault_tolerance": result.fault_tolerance,
     }
     np.savez_compressed(
         path,
@@ -84,4 +85,5 @@ def load_result(path: PathLike) -> ProclusResult:
         degraded=bool(meta.get("degraded", False)),
         cache_stats=meta.get("cache_stats"),
         parallelism=meta.get("parallelism"),
+        fault_tolerance=meta.get("fault_tolerance"),
     )

@@ -16,6 +16,7 @@ __all__ = [
     "DegenerateDataError",
     "NotFittedError",
     "BudgetExceededError",
+    "CheckpointError",
     "ConvergenceWarning",
     "SanitizationWarning",
 ]
@@ -53,6 +54,18 @@ class BudgetExceededError(ReproError, RuntimeError):
     computation) instead of raising; this error is reserved for
     call sites that explicitly request hard enforcement via
     :meth:`repro.robustness.Deadline.check`.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint directory cannot be used for the requested run.
+
+    Raised by the fault-tolerant run supervisor when ``resume=True``
+    finds no manifest, an unreadable manifest, or a manifest recorded by
+    a *different* run (other seed stream, restart count, or fit
+    parameters) — resuming from it would silently change results.
+    Corrupt *per-restart* payload files are handled more gently: they
+    are discarded and recomputed, never raised.
     """
 
 

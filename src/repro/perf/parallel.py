@@ -45,6 +45,7 @@ from __future__ import annotations
 import math
 import os
 import time
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
@@ -108,6 +109,15 @@ class SharedMatrix:
         self._shm = shm
         self.shape = tuple(int(s) for s in shape)
         self.dtype = dtype
+        self._unlinked = False
+        # Leak guard: /dev/shm segments outlive their creator, so a
+        # parent that dies between publish() and unlink() would strand
+        # the pages until reboot.  The finalizer fires on garbage
+        # collection AND at interpreter exit (atexit semantics), and is
+        # disarmed by an explicit unlink() so the segment is settled
+        # exactly once.
+        self._finalizer = weakref.finalize(
+            self, _release_segment, shm)
 
     @classmethod
     def publish(cls, X: np.ndarray) -> "SharedMatrix":
@@ -152,12 +162,26 @@ class SharedMatrix:
         return view
 
     def unlink(self) -> None:
-        """Release the segment (parent side, after the fan-out)."""
-        try:
-            self._shm.close()
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already reclaimed
-            pass
+        """Release the segment (parent side, after the fan-out).
+
+        Idempotent: a second call (or the finalizer firing after an
+        explicit call) is a no-op, so supervisor retry paths can unlink
+        defensively without double-free errors.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._finalizer.detach()
+        _release_segment(self._shm)
+
+
+def _release_segment(shm: "SharedMemory") -> None:
+    """Close and unlink one segment, tolerating prior reclamation."""
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reclaimed
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -327,7 +351,12 @@ def run_parallel_restarts(X: np.ndarray, children: Sequence, *,
                 for i, child in enumerate(children)
             }
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Bounded timeout so deadline expiry is observed promptly
+                # even when every worker is busy: an untimed wait would
+                # postpone cancelling pending restarts until some future
+                # happens to finish.
+                done, pending = wait(pending, timeout=0.05,
+                                     return_when=FIRST_COMPLETED)
                 for fut in done:
                     if fut.cancelled():
                         continue

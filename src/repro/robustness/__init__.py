@@ -13,8 +13,13 @@ parts:
   degenerate inputs (:func:`plan_degradation`,
   :func:`kmedoids_fallback`);
 * :mod:`~repro.robustness.faults` — a fault-injection harness
-  (:func:`inject_nan_rows` and friends, composed by :class:`FaultPlan`)
-  used by the chaos test suite.
+  (:func:`inject_nan_rows` and friends, composed by :class:`FaultPlan`;
+  process-level worker faults via :class:`ProcessFaultSpec`) used by
+  the chaos test suite;
+* :mod:`~repro.robustness.supervisor` — the fault-tolerant execution
+  supervisor for multi-restart runs: crash retry with deterministic
+  seed replay, hung-worker replacement, atomic checkpoint/resume
+  (:class:`RunCheckpoint`), and signal-safe shutdown.
 
 ``guards`` sits at the very bottom of the dependency stack (it is
 imported by :mod:`repro.distance`), so this package must not import
@@ -23,8 +28,10 @@ heavyweight modules at import time — :mod:`.fallback` defers its
 """
 
 from .faults import (
+    PROCESS_FAULT_KINDS,
     Fault,
     FaultPlan,
+    ProcessFaultSpec,
     inject_constant_dims,
     inject_duplicates,
     inject_extreme_scale,
@@ -45,6 +52,15 @@ from .guards import (
     resolve_row_chunk,
 )
 from .sanitize import BAD_VALUE_POLICIES, SanitizationReport, sanitize
+from .supervisor import (
+    RunCheckpoint,
+    SignalWatch,
+    SupervisedOutcome,
+    run_serial_restarts,
+    seed_state_token,
+    signal_guard,
+    supervise_restarts,
+)
 
 __all__ = [
     "sanitize",
@@ -66,4 +82,13 @@ __all__ = [
     "inject_extreme_scale",
     "standard_faults",
     "standard_fault_matrix",
+    "PROCESS_FAULT_KINDS",
+    "ProcessFaultSpec",
+    "SupervisedOutcome",
+    "RunCheckpoint",
+    "SignalWatch",
+    "signal_guard",
+    "seed_state_token",
+    "supervise_restarts",
+    "run_serial_restarts",
 ]

@@ -1,12 +1,24 @@
 """Fault-injection harness for chaos-testing the clustering pipeline.
 
-Each injector takes a clean matrix and returns a *corrupted copy*
-exhibiting one real-world pathology: NaN/inf cells, exact duplicate
-rows, dead (constant) columns, or wildly mis-scaled features.
-:class:`FaultPlan` composes injectors so the chaos suite can exercise
-the full cross-product and assert the library's contract: every
-``proclus()`` call either returns a labelled result or raises a typed
-:class:`~repro.exceptions.ReproError` — never an uncaught numpy error.
+Two fault families live here:
+
+* **Data faults** — each injector takes a clean matrix and returns a
+  *corrupted copy* exhibiting one real-world pathology: NaN/inf cells,
+  exact duplicate rows, dead (constant) columns, or wildly mis-scaled
+  features.  :class:`FaultPlan` composes injectors so the chaos suite
+  can exercise the full cross-product.
+* **Process faults** — :class:`ProcessFaultSpec` describes a worker
+  pathology in the restart fan-out (a worker that crashes, hangs, or
+  returns a corrupt payload) for the fault-tolerant supervisor
+  (:mod:`repro.robustness.supervisor`) to survive.  The spec travels to
+  the worker as an ordinary pickled argument, so injection works under
+  every multiprocessing start method, and it is keyed by
+  ``(restart index, attempt)`` so chaos tests are fully deterministic.
+
+The contract both families drive: every ``proclus()`` call either
+returns a labelled result or raises a typed
+:class:`~repro.exceptions.ReproError` — never an uncaught numpy error,
+a hang, or a :class:`concurrent.futures.process.BrokenProcessPool`.
 
 The injectors are deterministic given a seed and never mutate their
 input.
@@ -16,11 +28,14 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..exceptions import ParameterError
 from ..rng import SeedLike, ensure_rng
 
 __all__ = [
@@ -32,6 +47,9 @@ __all__ = [
     "FaultPlan",
     "standard_faults",
     "standard_fault_matrix",
+    "PROCESS_FAULT_KINDS",
+    "ProcessFaultSpec",
+    "apply_process_fault",
 ]
 
 
@@ -140,6 +158,73 @@ def standard_faults() -> List[Fault]:
         Fault("extreme_scale",
               lambda X, rng: inject_extreme_scale(X, 1e9, seed=rng)),
     ]
+
+
+# ----------------------------------------------------------------------
+# Process-level faults (restart fan-out workers)
+# ----------------------------------------------------------------------
+
+#: Worker pathologies the supervisor's chaos suite injects.
+PROCESS_FAULT_KINDS: Tuple[str, ...] = ("crash", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class ProcessFaultSpec:
+    """A deterministic worker fault in the restart fan-out.
+
+    Targets the restart with index :attr:`index` and fires on its first
+    :attr:`times` attempts (attempt numbering starts at 0), so a spec
+    with ``times=1`` models a transient fault the first retry survives
+    and a large ``times`` models a persistently broken worker that
+    exhausts the retry budget.
+
+    Kinds
+    -----
+    ``"crash"``
+        The worker process dies abruptly (``os._exit``), breaking the
+        whole pool — the OOM-killer scenario.
+    ``"hang"``
+        The worker sleeps for :attr:`hang_s` seconds, never producing a
+        result — the stuck-on-IO scenario the per-restart wall-clock
+        cap exists for.
+    ``"corrupt"``
+        The worker returns a malformed payload instead of a fitted
+        result — the torn-write / bad-deserialization scenario.
+    """
+
+    kind: str
+    index: int = 0
+    times: int = 1
+    hang_s: float = 3600.0
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESS_FAULT_KINDS:
+            raise ParameterError(
+                f"process fault kind must be one of {PROCESS_FAULT_KINDS}; "
+                f"got {self.kind!r}"
+            )
+
+    def fires(self, index: int, attempt: int) -> bool:
+        """True when this spec targets ``(index, attempt)``."""
+        return index == int(self.index) and attempt < int(self.times)
+
+
+def apply_process_fault(fault: Optional[ProcessFaultSpec], index: int,
+                        attempt: int) -> bool:
+    """Worker-side fault application; runs inside the pool process.
+
+    Returns ``True`` when the caller should return a *corrupt payload*
+    instead of computing; crashes or hangs the process directly for the
+    other kinds; returns ``False`` when no fault fires.
+    """
+    if fault is None or not fault.fires(index, attempt):
+        return False
+    if fault.kind == "crash":
+        os._exit(fault.exit_code)
+    if fault.kind == "hang":
+        time.sleep(fault.hang_s)
+    return fault.kind == "corrupt"
 
 
 def standard_fault_matrix(max_combination: int = 2) -> List[FaultPlan]:

@@ -21,6 +21,7 @@ __all__ = [
     "check_fraction",
     "check_k_l",
     "check_dimension_subset",
+    "check_max_retries",
     "check_n_jobs",
     "check_same_length",
     "check_time_budget",
@@ -181,6 +182,16 @@ def check_n_jobs(value, *, name: str = "n_jobs") -> int:
         raise ParameterError(
             f"{name} must be >= 1, or -1 for all cores; got {value}"
         )
+    return value
+
+
+def check_max_retries(value, *, name: str = "max_retries") -> int:
+    """Validate a retry budget: an integer ``>= 0`` (0 disables retries)."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer; got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ParameterError(f"{name} must be >= 0; got {value}")
     return value
 
 
