@@ -14,7 +14,10 @@ The package provides:
   figure in the paper's evaluation section;
 * :mod:`repro.robustness` — input sanitization, wall-clock/memory
   guards, the graceful-degradation ladder, and a fault-injection
-  harness for chaos testing.
+  harness for chaos testing;
+* :mod:`repro.obs` — structured observability: phase tracing, counters,
+  profiling hooks, and a stdlib-logging bridge (off by default; results
+  are bit-identical with tracing on).
 
 Quickstart::
 
@@ -38,6 +41,7 @@ from .exceptions import (
     ReproError,
     SanitizationWarning,
 )
+from .obs import Tracer, get_tracer, use_tracer
 from .robustness import FaultPlan, SanitizationReport, sanitize
 
 __version__ = "1.0.0"
@@ -54,6 +58,9 @@ __all__ = [
     "sanitize",
     "SanitizationReport",
     "FaultPlan",
+    "Tracer",
+    "get_tracer",
+    "use_tracer",
     "ReproError",
     "ParameterError",
     "DataError",

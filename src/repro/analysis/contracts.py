@@ -21,6 +21,7 @@ __all__ = [
     "PUBLIC_API_FILES",
     "ALLOWED_NP_RANDOM_ATTRS",
     "WALL_CLOCK_CALLS",
+    "DURATION_CLOCK_CALLS",
 ]
 
 
@@ -103,9 +104,9 @@ ALLOWED_NP_RANDOM_ATTRS: FrozenSet[str] = frozenset({
     "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64", "RandomState",
 })
 
-#: Calls RPR002 flags inside the determinism-scoped directories.
-#: ``time.perf_counter``/``monotonic`` stay legal: they only ever feed
-#: duration diagnostics and deadline checks, never result values.
+#: Calls RPR002 flags inside the determinism-scoped directories: values
+#: read from these can reach results or branches and make a run
+#: irreproducible.
 WALL_CLOCK_CALLS: FrozenSet[str] = frozenset({
     "time.time", "time.time_ns", "time.ctime", "time.localtime",
     "time.gmtime",
@@ -113,4 +114,15 @@ WALL_CLOCK_CALLS: FrozenSet[str] = frozenset({
     "datetime.date.today", "datetime.datetime.today",
     "os.urandom", "os.getrandom",
     "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Duration clocks RPR002 also flags in the scoped directories — not
+#: because durations break bit-identity (they never feed result values),
+#: but to funnel every timing read through the single sanctioned seam
+#: ``repro.obs.clock.monotonic_s``, where the observability layer owns
+#: it.  Code outside the scoped dirs (robustness/, experiments/, the
+#: tracer itself) may use these freely.
+DURATION_CLOCK_CALLS: FrozenSet[str] = frozenset({
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
 })

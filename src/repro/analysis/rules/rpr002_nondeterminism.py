@@ -6,11 +6,13 @@ repeated seeded runs.  Two classes of violation:
 
 * **Wall-clock / entropy reads** (``time.time``, ``os.urandom``,
   ``uuid.uuid4``, ``datetime.now`` ...) — any such value that reaches a
-  result or a branch makes the run irreproducible.
-  ``time.perf_counter`` and ``time.monotonic`` stay legal: the library
-  uses them strictly for duration diagnostics and deadline checks,
-  which may change *when* the search stops (that is their job) but are
-  themselves recorded in the result for auditability.
+  result or a branch makes the run irreproducible.  Duration clocks
+  (``time.perf_counter``/``monotonic``) are flagged too, with a
+  softer rationale: durations never feed result values, but every
+  timing read in the numeric core must flow through the single
+  sanctioned seam :func:`repro.obs.clock.monotonic_s` so the
+  observability layer owns the clock.  Code outside the scoped
+  directories may use the duration clocks directly.
 * **Unordered-set iteration** — ``for x in {...}`` / iterating
   ``set(...)`` directly.  Set order depends on element hashes, which
   for strings vary per process (``PYTHONHASHSEED``); a result built in
@@ -23,7 +25,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Union
 
-from ..contracts import DETERMINISM_SCOPED_DIRS, WALL_CLOCK_CALLS
+from ..contracts import (DETERMINISM_SCOPED_DIRS, DURATION_CLOCK_CALLS,
+                         WALL_CLOCK_CALLS)
 from ..engine import FileContext, Finding
 from .base import Rule, collect_imports, dotted_name
 
@@ -76,7 +79,17 @@ class NondeterminismRule(Rule):
                 f"nondeterminism primitive {qname} in a bit-identity "
                 "scoped module",
                 hint="results may only depend on inputs and the seeded "
-                     "Generator; use time.perf_counter for durations",
+                     "Generator; use repro.obs.clock.monotonic_s for "
+                     "durations",
+            )
+        elif qname in DURATION_CLOCK_CALLS:
+            yield self.finding(
+                ctx, node,
+                f"raw duration clock {qname} in a bit-identity scoped "
+                "module",
+                hint="route timing reads through the sanctioned seam "
+                     "repro.obs.clock.monotonic_s so the observability "
+                     "layer owns the clock",
             )
 
     def _check_iteration(self, ctx: FileContext,

@@ -5,8 +5,11 @@ Subcommands
 ``generate``
     Draw a synthetic dataset (paper section 4.1, or a named domain
     workload via ``--workload``) and write it to CSV.
-``cluster``
+``cluster`` (alias ``run``)
     Run PROCLUS on a CSV dataset and print the result summary.
+    ``--profile`` adds a structured profile report, ``--trace-file``
+    writes the span/event trace as JSONL, ``--log-level`` turns on the
+    stdlib-logging bridge (see ``docs/observability.md``).
 ``sweep``
     Sweep ``l`` (and optionally ``k``) on a CSV dataset to pick
     parameters, per the paper's section-4.3 advice.
@@ -66,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--outlier-fraction", type=float, default=0.05)
     g.add_argument("--seed", type=int, default=None)
 
-    c = sub.add_parser("cluster", help="run PROCLUS on a CSV dataset")
+    c = sub.add_parser("cluster", aliases=["run"],
+                       help="run PROCLUS on a CSV dataset")
     c.add_argument("input", help="CSV file (from `generate` or compatible)")
     c.add_argument("-k", type=int, required=True, help="number of clusters")
     c.add_argument("-l", type=float, required=True,
@@ -111,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="feed the CSV to PROCLUS verbatim: no bad-value "
                         "handling, no degradation ladder (degenerate "
                         "input raises)")
+    c.add_argument("--profile", action="store_true",
+                   help="trace the run (phase spans, counters) and print "
+                        "a profile report after the summary; results are "
+                        "bit-identical with and without tracing")
+    c.add_argument("--trace-file", default=None, metavar="PATH",
+                   help="write the structured trace as JSON Lines to "
+                        "PATH (implies --profile); validate with "
+                        "`python -m repro.obs PATH`")
+    c.add_argument("--log-level", default=None, metavar="LEVEL",
+                   choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                   help="emit tracer phases/events through stdlib "
+                        "logging at this level to stderr")
 
     s = sub.add_parser("sweep", help="sweep l (and k) to pick parameters")
     s.add_argument("input")
@@ -218,27 +234,48 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
+    from contextlib import ExitStack
+
+    from .obs import (Tracer, configure_logging, format_profile, get_logger,
+                      use_tracer)
+
     sanitize = not args.no_sanitize
+    tracing = bool(args.profile or args.trace_file or args.log_level)
+    logger = None
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+        logger = get_logger("cli")
     ds = load_csv(args.input, allow_nonfinite=sanitize)
-    with warnings.catch_warnings():
-        # the summary below prints result.warnings; no need to emit twice
-        warnings.simplefilter("ignore", SanitizationWarning)
-        result = proclus(
-            ds.points, args.k, args.l,
-            min_deviation=args.min_deviation,
-            handle_outliers=not args.no_outliers,
-            on_bad_values=args.on_bad_values if sanitize else "raise",
-            auto_degrade=sanitize,
-            time_budget_s=args.time_budget,
-            restarts=args.restarts,
-            n_jobs=args.n_jobs,
-            max_retries=args.max_retries,
-            restart_timeout_s=args.restart_timeout_s,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-            seed=args.seed,
-        )
+    tracer = Tracer(logger=logger) if tracing else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        with warnings.catch_warnings():
+            # the summary below prints result.warnings; no need to emit twice
+            warnings.simplefilter("ignore", SanitizationWarning)
+            result = proclus(
+                ds.points, args.k, args.l,
+                min_deviation=args.min_deviation,
+                handle_outliers=not args.no_outliers,
+                on_bad_values=args.on_bad_values if sanitize else "raise",
+                auto_degrade=sanitize,
+                time_budget_s=args.time_budget,
+                restarts=args.restarts,
+                n_jobs=args.n_jobs,
+                max_retries=args.max_retries,
+                restart_timeout_s=args.restart_timeout_s,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                profile=tracing,
+                seed=args.seed,
+            )
+    if tracer is not None and args.trace_file:
+        path = tracer.write_jsonl(args.trace_file)
+        print(f"trace written to {path}")
     print(result.summary())
+    if args.profile and result.profile is not None:
+        print()
+        print(format_profile(result.profile))
     if ds.has_ground_truth:
         print()
         print(confusion_matrix(result.labels, ds.labels).to_table())
@@ -328,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
+        "run": _cmd_cluster,
         "sweep": _cmd_sweep,
         "clique": _cmd_clique,
         "orclus": _cmd_orclus,

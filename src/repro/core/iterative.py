@@ -21,7 +21,6 @@ raising, so bounded-latency callers always get a usable result.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -30,6 +29,7 @@ import numpy as np
 
 from ..distance.base import Metric
 from ..exceptions import ConvergenceWarning, ParameterError
+from ..obs import get_tracer, monotonic_s
 from ..perf.cache import IterativeCache
 from ..rng import SeedLike, ensure_rng
 from ..robustness.guards import Deadline
@@ -140,7 +140,8 @@ def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
     every vertex from scratch.  Cached and uncached runs produce
     bit-identical results; only the wall clock differs.
     """
-    t0 = time.perf_counter()
+    t0 = monotonic_s()
+    tracer = get_tracer()
     if cache is True:
         cache = IterativeCache()
     elif cache is False:
@@ -170,66 +171,84 @@ def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
                 and deadline.expired())
 
     iteration = 0
-    while iteration < max_iterations:
-        if out_of_time():
-            terminated_by = "deadline"
-            break
-        iteration += 1
-        localities, deltas = compute_localities(
-            X, current, metric=metric,
-            min_locality_size=max(2, min_dims_per_cluster),
-            cache=cache,
-        )
-        if out_of_time():
-            terminated_by = "deadline"
-            iteration -= 1  # this vertex was never evaluated
-            break
-        dims = find_dimensions(
-            X, current, l, metric=metric,
-            min_per_cluster=min_dims_per_cluster, localities=localities,
-            exclude_dims=exclude_dims, cache=cache, deltas=deltas,
-        )
-        labels = assign_points(X, X[current], dims,
-                               cache=cache, medoid_indices=current)
-        objective = evaluate_clusters(X, labels, dims)
+    with tracer.phase("iterative", k=k, pool_size=int(pool.size)) as phase_span:
+        while iteration < max_iterations:
+            if out_of_time():
+                terminated_by = "deadline"
+                if tracer.enabled:
+                    tracer.event("deadline_expired", iteration=iteration)
+                break
+            iteration += 1
+            localities, deltas = compute_localities(
+                X, current, metric=metric,
+                min_locality_size=max(2, min_dims_per_cluster),
+                cache=cache,
+            )
+            if out_of_time():
+                terminated_by = "deadline"
+                iteration -= 1  # this vertex was never evaluated
+                if tracer.enabled:
+                    tracer.event("deadline_expired", iteration=iteration)
+                break
+            dims = find_dimensions(
+                X, current, l, metric=metric,
+                min_per_cluster=min_dims_per_cluster, localities=localities,
+                exclude_dims=exclude_dims, cache=cache, deltas=deltas,
+            )
+            labels = assign_points(X, X[current], dims,
+                                   cache=cache, medoid_indices=current)
+            objective = evaluate_clusters(X, labels, dims)
 
-        improved = objective < best_obj
-        visited_bad = (find_bad_medoids(labels, k, min_deviation)
-                       if improved or keep_history else [])
-        if improved:
-            best_obj = objective
-            best_medoids = current.copy()
-            best_dims = dims
-            best_labels = labels
-            bad_positions = visited_bad
-            n_improvements += 1
-            tries_without_improvement = 0
-        else:
-            tries_without_improvement += 1
-            if cache is not None:
-                # a rejected vertex's swapped-in medoids are unlikely to
-                # be drawn again soon; drop their columns to keep the
-                # cache at the surviving vertex's working set
-                cache.discard_rows(np.setdiff1d(current, best_medoids))
+            improved = objective < best_obj
+            visited_bad = (find_bad_medoids(labels, k, min_deviation)
+                           if improved or keep_history else [])
+            if improved:
+                best_obj = objective
+                best_medoids = current.copy()
+                best_dims = dims
+                best_labels = labels
+                bad_positions = visited_bad
+                n_improvements += 1
+                tries_without_improvement = 0
+            else:
+                tries_without_improvement += 1
+                if cache is not None:
+                    # a rejected vertex's swapped-in medoids are unlikely
+                    # to be drawn again soon; drop their columns to keep
+                    # the cache at the surviving vertex's working set
+                    cache.discard_rows(np.setdiff1d(current, best_medoids))
+            if tracer.enabled:
+                tracer.event("iteration", iteration=iteration,
+                             objective=float(objective), improved=improved,
+                             n_bad=len(visited_bad))
 
-        if keep_history:
-            history.append(IterationRecord(
-                iteration=iteration,
-                objective=float(objective),
-                improved=improved,
-                medoid_indices=tuple(int(i) for i in current),
-                bad_positions=tuple(visited_bad),
-                locality_sizes=tuple(len(loc) for loc in localities),
-            ))
+            if keep_history:
+                history.append(IterationRecord(
+                    iteration=iteration,
+                    objective=float(objective),
+                    improved=improved,
+                    medoid_indices=tuple(int(i) for i in current),
+                    bad_positions=tuple(visited_bad),
+                    locality_sizes=tuple(len(loc) for loc in localities),
+                ))
 
-        if tries_without_improvement >= max_bad_tries:
-            terminated_by = "no_improvement"
-            break
-        current = replace_bad_medoids(best_medoids, bad_positions, pool, rng)
-        if np.array_equal(np.sort(current), np.sort(best_medoids)):
-            # pool exhausted: no neighbouring vertex remains to try
-            terminated_by = "pool_exhausted"
-            break
+            if tries_without_improvement >= max_bad_tries:
+                terminated_by = "no_improvement"
+                break
+            current = replace_bad_medoids(best_medoids, bad_positions,
+                                          pool, rng)
+            if tracer.enabled:
+                swapped = int(np.count_nonzero(current != best_medoids))
+                if swapped:
+                    tracer.count("iterative.bad_medoid_swaps", swapped)
+                    tracer.event("medoid_swap", n_swapped=swapped,
+                                 positions=list(bad_positions))
+            if np.array_equal(np.sort(current), np.sort(best_medoids)):
+                # pool exhausted: no neighbouring vertex remains to try
+                terminated_by = "pool_exhausted"
+                break
+        phase_span.set(iterations=iteration, improvements=n_improvements,
+                       terminated_by=terminated_by)
 
     if terminated_by == "max_iterations":
         warnings.warn(
@@ -249,6 +268,6 @@ def run_iterative_phase(X: np.ndarray, pool: np.ndarray, k: int, l: float, *,
         n_improvements=n_improvements,
         terminated_by=terminated_by,
         history=history,
-        seconds=time.perf_counter() - t0,
+        seconds=monotonic_s() - t0,
         cache_stats=cache.stats_dict() if cache is not None else None,
     )

@@ -12,7 +12,6 @@ Example
 
 from __future__ import annotations
 
-import time
 import warnings as _warnings
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -26,6 +25,7 @@ from ..exceptions import (
     ParameterError,
     SanitizationWarning,
 )
+from ..obs import get_tracer, maybe_trace, monotonic_s
 from ..perf.cache import IterativeCache
 from ..perf.parallel import resolve_n_jobs
 from ..rng import SeedLike, ensure_rng, spawn
@@ -57,8 +57,10 @@ def _fit(X: np.ndarray, k: int, l: float, *,
          n_jobs: int = 1, max_retries: int = 2,
          restart_timeout_s: Optional[float] = None,
          checkpoint_dir: Optional[str] = None,
-         resume: bool = False) -> ProclusResult:
+         resume: bool = False,
+         profile: bool = False) -> ProclusResult:
     """Fit on already-sanitized data (the body behind :func:`proclus`)."""
+    tracer = get_tracer()
     if restarts > 1:
         # Multi-restart runs execute under the fault-tolerant supervisor
         # (crash retry, hang replacement, checkpoint/resume, signal-safe
@@ -89,18 +91,20 @@ def _fit(X: np.ndarray, k: int, l: float, *,
                 checkpoint_dir, children=children,
                 fit_kwargs=fit_kwargs, resume=resume,
             )
-        fan_t0 = time.perf_counter()
-        if resolve_n_jobs(n_jobs, n_tasks=restarts) > 1:
-            outcome = supervise_restarts(
-                X, children, n_jobs=n_jobs, deadline=deadline,
-                fit_kwargs=fit_kwargs, max_retries=max_retries,
-                restart_timeout_s=restart_timeout_s, checkpoint=checkpoint,
-            )
-        else:
-            outcome = run_serial_restarts(
-                X, children, deadline=deadline, fit_kwargs=fit_kwargs,
-                checkpoint=checkpoint,
-            )
+        fan_t0 = monotonic_s()
+        with tracer.span("restarts", restarts=restarts, n_jobs=n_jobs):
+            if resolve_n_jobs(n_jobs, n_tasks=restarts) > 1:
+                outcome = supervise_restarts(
+                    X, children, n_jobs=n_jobs, deadline=deadline,
+                    fit_kwargs=fit_kwargs, max_retries=max_retries,
+                    restart_timeout_s=restart_timeout_s,
+                    checkpoint=checkpoint, profile=profile,
+                )
+            else:
+                outcome = run_serial_restarts(
+                    X, children, deadline=deadline, fit_kwargs=fit_kwargs,
+                    checkpoint=checkpoint,
+                )
         best = outcome.best
         # only the winning child's notes survive, as in the historical
         # serial loop; losers' notes describe runs that were discarded
@@ -121,7 +125,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
             "n_workers": outcome.n_workers,
             "restarts_completed": outcome.completed,
             "restart_seconds": outcome.restart_seconds,
-            "wall_seconds": time.perf_counter() - fan_t0,
+            "wall_seconds": monotonic_s() - fan_t0,
         }
         ft = outcome.fault_tolerance
         if ft is not None and not (
@@ -145,39 +149,41 @@ def _fit(X: np.ndarray, k: int, l: float, *,
         sample_idx = rng_sample.choice(
             X.shape[0], size=fit_sample_size, replace=False,
         )
-        t0 = time.perf_counter()
-        sub = _fit(
-            X[sample_idx], k, l,
-            sample_factor=sample_factor, pool_factor=pool_factor,
-            min_deviation=min_deviation, max_bad_tries=max_bad_tries,
-            max_iterations=max_iterations, metric=metric,
-            min_dims_per_cluster=min_dims_per_cluster,
-            handle_outliers=False, keep_history=keep_history,
-            restarts=1, fit_sample_size=None, seed=rng_fit,
-            deadline=deadline, exclude_dims=exclude_dims, notes=notes,
-            cache=cache, n_jobs=n_jobs,
-        )
-        t_sample_fit = time.perf_counter() - t0
+        t0 = monotonic_s()
+        with tracer.phase("sample_fit", sample_size=fit_sample_size):
+            sub = _fit(
+                X[sample_idx], k, l,
+                sample_factor=sample_factor, pool_factor=pool_factor,
+                min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+                max_iterations=max_iterations, metric=metric,
+                min_dims_per_cluster=min_dims_per_cluster,
+                handle_outliers=False, keep_history=keep_history,
+                restarts=1, fit_sample_size=None, seed=rng_fit,
+                deadline=deadline, exclude_dims=exclude_dims, notes=notes,
+                cache=cache, n_jobs=n_jobs,
+            )
+        t_sample_fit = monotonic_s() - t0
         # refinement over the FULL database with the sample's medoids.
         # The sample fit's cache is bound to the subsample, so the full
         # pass gets a fresh one (assignment + refinement share columns
         # for medoids whose dimension set survives).
-        t0 = time.perf_counter()
-        cache_obj = IterativeCache() if cache else None
-        medoid_indices = sample_idx[sub.medoid_indices]
-        dim_sets = [sub.dimensions[i] for i in range(k)]
-        full_labels = assign_points(X, X[medoid_indices], dim_sets,
-                                    cache=cache_obj,
-                                    medoid_indices=medoid_indices)
-        refined = refine_clusters(
-            X, full_labels, medoid_indices, l,
-            min_dims_per_cluster=min_dims_per_cluster,
-            fallback_dims=dim_sets,
-            handle_outliers=handle_outliers,
-            exclude_dims=exclude_dims,
-            cache=cache_obj,
-        )
-        objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
+        t0 = monotonic_s()
+        with tracer.phase("refinement"):
+            cache_obj = IterativeCache() if cache else None
+            medoid_indices = sample_idx[sub.medoid_indices]
+            dim_sets = [sub.dimensions[i] for i in range(k)]
+            full_labels = assign_points(X, X[medoid_indices], dim_sets,
+                                        cache=cache_obj,
+                                        medoid_indices=medoid_indices)
+            refined = refine_clusters(
+                X, full_labels, medoid_indices, l,
+                min_dims_per_cluster=min_dims_per_cluster,
+                fallback_dims=dim_sets,
+                handle_outliers=handle_outliers,
+                exclude_dims=exclude_dims,
+                cache=cache_obj,
+            )
+            objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
         return ProclusResult(
             labels=refined.labels,
             medoids=X[medoid_indices],
@@ -190,7 +196,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
             objective_history=sub.objective_history,
             phase_seconds={
                 "sample_fit": t_sample_fit,
-                "refinement": time.perf_counter() - t0,
+                "refinement": monotonic_s() - t0,
             },
             terminated_by=sub.terminated_by,
             cache_stats=(cache_obj.stats_dict()
@@ -212,12 +218,14 @@ def _fit(X: np.ndarray, k: int, l: float, *,
     rng_init, rng_iter = spawn(rng, 2)
 
     # Phase 1: initialization ------------------------------------------
-    t0 = time.perf_counter()
-    pool = initialize_medoid_pool(
-        X, config.sample_size, config.pool_size,
-        metric=config.metric, seed=rng_init,
-    )
-    t_init = time.perf_counter() - t0
+    t0 = monotonic_s()
+    with tracer.phase("initialization", sample_size=config.sample_size,
+                      pool_size=config.pool_size):
+        pool = initialize_medoid_pool(
+            X, config.sample_size, config.pool_size,
+            metric=config.metric, seed=rng_init,
+        )
+    t_init = monotonic_s() - t0
 
     # Phase 2: iterative hill climbing ---------------------------------
     cache_obj = IterativeCache() if config.cache else None
@@ -236,17 +244,19 @@ def _fit(X: np.ndarray, k: int, l: float, *,
     )
 
     # Phase 3: refinement ----------------------------------------------
-    t0 = time.perf_counter()
-    refined = refine_clusters(
-        X, phase2.labels, phase2.medoid_indices, config.l,
-        min_dims_per_cluster=config.min_dims_per_cluster,
-        fallback_dims=phase2.dim_sets,
-        handle_outliers=handle_outliers,
-        exclude_dims=exclude_dims,
-        cache=cache_obj,
-    )
-    final_objective = evaluate_clusters(X, refined.labels, refined.dim_sets)
-    t_refine = time.perf_counter() - t0
+    t0 = monotonic_s()
+    with tracer.phase("refinement"):
+        refined = refine_clusters(
+            X, phase2.labels, phase2.medoid_indices, config.l,
+            min_dims_per_cluster=config.min_dims_per_cluster,
+            fallback_dims=phase2.dim_sets,
+            handle_outliers=handle_outliers,
+            exclude_dims=exclude_dims,
+            cache=cache_obj,
+        )
+        final_objective = evaluate_clusters(X, refined.labels,
+                                            refined.dim_sets)
+    t_refine = monotonic_s() - t0
 
     return ProclusResult(
         labels=refined.labels,
@@ -289,6 +299,7 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
             restart_timeout_s: Optional[float] = None,
             checkpoint_dir: Optional[str] = None,
             resume: bool = False,
+            profile: bool = False,
             seed: SeedLike = None) -> ProclusResult:
     """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
 
@@ -385,6 +396,19 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
         uninterrupted run.  A manifest recorded by a different run
         (other seed, restarts, or parameters) raises
         :class:`~repro.exceptions.CheckpointError`.
+    profile:
+        Record a structured observability profile of the fit
+        (:mod:`repro.obs`): per-phase wall seconds, hot-path counters,
+        and the span/event tree land on ``result.profile`` (a JSON-safe
+        dict that survives ``to_dict``/``save_result``/``load_result``).
+        Tracing never perturbs the clustering — results are
+        bit-identical with ``profile`` on or off.  When a tracer is
+        already installed via :func:`repro.obs.use_tracer`, it is used
+        (and keeps the raw records) instead of a fresh one.  With
+        parallel restarts each worker traces its own fit and the
+        winner's worker-side profile is embedded under
+        ``result.profile["winner"]``.  Default off: the no-op tracer
+        costs nothing measurable.
 
     Other parameters are documented on
     :class:`~repro.core.config.ProclusConfig`.
@@ -406,64 +430,82 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
     exclude_dims: Tuple[int, ...] = ()
     degraded = False
 
-    if on_bad_values != "raise" or collapse_duplicates or auto_degrade:
-        X, report = sanitize(
-            X, on_bad_values=on_bad_values,
-            collapse_duplicates=collapse_duplicates, warn=False,
-        )
-        notes.extend(report.messages)
-        degraded = degraded or report.changed
-    else:
-        X = check_array(X, name="X")
+    with maybe_trace(profile) as tracer:
+        if on_bad_values != "raise" or collapse_duplicates or auto_degrade:
+            with tracer.span("sanitize"):
+                X, report = sanitize(
+                    X, on_bad_values=on_bad_values,
+                    collapse_duplicates=collapse_duplicates, warn=False,
+                )
+            notes.extend(report.messages)
+            degraded = degraded or report.changed
+        else:
+            X = check_array(X, name="X")
 
-    use_kmedoids = False
-    if auto_degrade:
-        plan = plan_degradation(
-            X, k, l, sample_factor, pool_factor,
-            min_dims_per_cluster=min_dims_per_cluster,
-            constant_dims=report.constant_dims if report is not None else (),
-        )
-        notes.extend(plan.messages)
-        degraded = degraded or plan.degraded
-        k, l = plan.k, plan.l
-        sample_factor, pool_factor = plan.sample_factor, plan.pool_factor
-        exclude_dims = plan.exclude_dims
-        use_kmedoids = plan.use_kmedoids
-
-    if use_kmedoids:
-        result = kmedoids_fallback(X, k, seed=seed, metric=metric)
-    else:
-        try:
-            result = _fit(
-                X, k, l,
-                sample_factor=sample_factor, pool_factor=pool_factor,
-                min_deviation=min_deviation, max_bad_tries=max_bad_tries,
-                max_iterations=max_iterations, metric=metric,
+        use_kmedoids = False
+        if auto_degrade:
+            plan = plan_degradation(
+                X, k, l, sample_factor, pool_factor,
                 min_dims_per_cluster=min_dims_per_cluster,
-                handle_outliers=handle_outliers, keep_history=keep_history,
-                restarts=restarts, fit_sample_size=fit_sample_size,
-                seed=seed, deadline=deadline, exclude_dims=exclude_dims,
-                notes=notes, cache=cache, n_jobs=n_jobs,
-                max_retries=max_retries,
-                restart_timeout_s=restart_timeout_s,
-                checkpoint_dir=checkpoint_dir, resume=resume,
+                constant_dims=(report.constant_dims
+                               if report is not None else ()),
             )
-        except (ParameterError, DataError) as exc:
-            if not auto_degrade:
-                raise
-            notes.append(
-                f"PROCLUS infeasible on this input ({exc}); falling back "
-                "to full-dimensional k-medoids"
-            )
-            degraded = True
-            result = kmedoids_fallback(X, k, seed=seed, metric=metric)
+            notes.extend(plan.messages)
+            degraded = degraded or plan.degraded
+            k, l = plan.k, plan.l
+            sample_factor, pool_factor = plan.sample_factor, plan.pool_factor
+            exclude_dims = plan.exclude_dims
+            use_kmedoids = plan.use_kmedoids
+            if tracer.enabled and plan.degraded:
+                tracer.event("degradation_planned", k=plan.k, l=plan.l,
+                             use_kmedoids=plan.use_kmedoids,
+                             n_excluded_dims=len(plan.exclude_dims))
 
-    if report is not None and report.changed:
-        result.labels = report.restore_labels(result.labels)
-        result.medoid_indices = report.restore_indices(result.medoid_indices)
-    result.sanitization = report
-    result.warnings = list(result.warnings) + notes
-    result.degraded = bool(result.degraded or degraded)
+        if use_kmedoids:
+            result = kmedoids_fallback(X, k, seed=seed, metric=metric)
+        else:
+            try:
+                result = _fit(
+                    X, k, l,
+                    sample_factor=sample_factor, pool_factor=pool_factor,
+                    min_deviation=min_deviation, max_bad_tries=max_bad_tries,
+                    max_iterations=max_iterations, metric=metric,
+                    min_dims_per_cluster=min_dims_per_cluster,
+                    handle_outliers=handle_outliers,
+                    keep_history=keep_history,
+                    restarts=restarts, fit_sample_size=fit_sample_size,
+                    seed=seed, deadline=deadline, exclude_dims=exclude_dims,
+                    notes=notes, cache=cache, n_jobs=n_jobs,
+                    max_retries=max_retries,
+                    restart_timeout_s=restart_timeout_s,
+                    checkpoint_dir=checkpoint_dir, resume=resume,
+                    profile=profile,
+                )
+            except (ParameterError, DataError) as exc:
+                if not auto_degrade:
+                    raise
+                notes.append(
+                    f"PROCLUS infeasible on this input ({exc}); falling "
+                    "back to full-dimensional k-medoids"
+                )
+                degraded = True
+                tracer.event("kmedoids_fallback", reason=str(exc))
+                result = kmedoids_fallback(X, k, seed=seed, metric=metric)
+
+        if report is not None and report.changed:
+            result.labels = report.restore_labels(result.labels)
+            result.medoid_indices = report.restore_indices(
+                result.medoid_indices)
+        result.sanitization = report
+        result.warnings = list(result.warnings) + notes
+        result.degraded = bool(result.degraded or degraded)
+        if tracer.enabled:
+            # keep the worker-side profile of a parallel winner nested
+            # under the coordinating process's own profile
+            winner_profile = result.profile
+            result.profile = tracer.profile()
+            if winner_profile is not None:
+                result.profile["winner"] = winner_profile
     for msg in notes:
         _warnings.warn(msg, SanitizationWarning, stacklevel=2)
     return result
@@ -498,6 +540,7 @@ class Proclus:
                  restart_timeout_s: Optional[float] = None,
                  checkpoint_dir: Optional[str] = None,
                  resume: bool = False,
+                 profile: bool = False,
                  seed: SeedLike = None) -> None:
         self.k = k
         self.l = l
@@ -522,6 +565,7 @@ class Proclus:
         self.restart_timeout_s = restart_timeout_s
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.profile = profile
         self.seed = seed
         self.result_: Optional[ProclusResult] = None
 
@@ -551,6 +595,7 @@ class Proclus:
             restart_timeout_s=self.restart_timeout_s,
             checkpoint_dir=self.checkpoint_dir,
             resume=self.resume,
+            profile=self.profile,
             seed=self.seed,
         )
         return self

@@ -22,7 +22,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import OUTLIER_LABEL
-from ..distance.segmental import segmental_distances_to_point
+from ..exceptions import ParameterError
+from ..obs import get_tracer
 from ..validation import check_array
 from .assignment import segmental_distance_matrix
 from .dimensions import find_dimensions_from_clusters
@@ -46,17 +47,41 @@ class RefinementResult:
 
 def spheres_of_influence(medoids: np.ndarray,
                          dim_sets: Sequence[Sequence[int]]) -> np.ndarray:
-    """``Delta_i`` for every medoid (segmental, in the medoid's own dims)."""
+    """``Delta_i`` for every medoid (segmental, in the medoid's own dims).
+
+    Builds the full ``(k, k)`` medoid-to-medoid segmental matrix (column
+    ``i`` measured in ``D_i``), masks the diagonal with ``inf``, and
+    takes the column minima.  The earlier per-medoid loop re-materialised
+    ``np.delete(np.arange(k), i)`` and an ``(k-1, |D_i|)`` gather through
+    the point kernel for every medoid; filling whole columns over all
+    ``k`` rows does the same row-independent ``mean(|diff|)`` reduction
+    (so the values are bit-identical) with one gather per column and no
+    index juggling.  ``k == 1`` falls out naturally: the only entry is
+    the masked diagonal, so the sphere is ``inf``.
+    """
     medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
     k = medoids.shape[0]
-    spheres = np.empty(k, dtype=np.float64)
+    if len(dim_sets) != k:
+        raise ParameterError(
+            f"{len(dim_sets)} dimension sets for {k} medoids")
+    med_dist = np.empty((k, k), dtype=np.float64)
     for i in range(k):
-        others = np.delete(np.arange(k), i)
-        dists = segmental_distances_to_point(
-            medoids[others], medoids[i], dim_sets[i]
-        )
-        spheres[i] = dists.min() if dists.size else np.inf
-    return spheres
+        dims = np.asarray(list(dim_sets[i]), dtype=np.intp)
+        if dims.size == 0:
+            raise ParameterError(f"medoid {i} has an empty dimension set")
+        if k == 2:
+            # numpy's mean sums pairwise over a contiguous inner run but
+            # sequentially over a strided one; with two medoids the
+            # historical (k-1, |D|) gather was a single contiguous row,
+            # so reduce a contiguous row here too to keep the same bits.
+            med_dist[1 - i, i] = float(
+                np.abs(medoids[1 - i, dims] - medoids[i, dims]).mean())
+            med_dist[i, i] = 0.0
+        else:
+            med_dist[:, i] = np.abs(
+                medoids[:, dims] - medoids[i, dims]).mean(axis=1)
+    np.fill_diagonal(med_dist, np.inf)
+    return med_dist.min(axis=0)
 
 
 def detect_outliers(dist_matrix: np.ndarray, spheres: np.ndarray) -> np.ndarray:
@@ -120,6 +145,11 @@ def refine_clusters(X: np.ndarray, labels: np.ndarray,
         n_outliers = int(outlier_mask.sum())
     else:
         n_outliers = 0
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("refinement.outliers_marked", n_outliers)
+        tracer.event("refinement_done", n_outliers=n_outliers,
+                     spheres_finite=int(np.isfinite(spheres).sum()))
 
     return RefinementResult(
         labels=new_labels,

@@ -94,6 +94,13 @@ class ProclusResult:
         checkpoint, and whether a signal terminated the run (in which
         case ``terminated_by`` is ``"signal"``).  ``None`` for plain
         fits.
+    profile:
+        Structured observability report when the fit ran with
+        ``profile=True``: per-phase wall seconds, counter totals, and
+        the recorded span/event records (see :mod:`repro.obs` and
+        ``docs/observability.md``).  For parallel multi-restart fits
+        the winning restart's worker-side profile is nested under
+        ``profile["winner"]``.  ``None`` for untraced fits.
     """
 
     labels: np.ndarray
@@ -113,6 +120,7 @@ class ProclusResult:
     cache_stats: Optional[Dict[str, Dict[str, float]]] = None
     parallelism: Optional[Dict[str, object]] = None
     fault_tolerance: Optional[Dict[str, object]] = None
+    profile: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -176,6 +184,8 @@ class ProclusResult:
                             if self.parallelism is not None else None),
             "fault_tolerance": (dict(self.fault_tolerance)
                                 if self.fault_tolerance is not None else None),
+            "profile": (dict(self.profile)
+                        if self.profile is not None else None),
         }
 
     def summary(self) -> str:

@@ -42,6 +42,7 @@ def save_result(result: ProclusResult, path: PathLike) -> Path:
         "cache_stats": result.cache_stats,
         "parallelism": result.parallelism,
         "fault_tolerance": result.fault_tolerance,
+        "profile": result.profile,
     }
     np.savez_compressed(
         path,
@@ -86,4 +87,5 @@ def load_result(path: PathLike) -> ProclusResult:
         cache_stats=meta.get("cache_stats"),
         parallelism=meta.get("parallelism"),
         fault_tolerance=meta.get("fault_tolerance"),
+        profile=meta.get("profile"),
     )

@@ -18,6 +18,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..obs import get_tracer
 from ..robustness.guards import resolve_row_chunk
 from .base import Metric, get_metric
 
@@ -54,6 +55,9 @@ def cross_distances(X: np.ndarray, anchors: np.ndarray,
     X = np.asarray(X, dtype=np.float64)
     anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
     n = X.shape[0]
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("kernel.distance_rows", n * anchors.shape[0])
     out = np.empty((n, anchors.shape[0]), dtype=np.float64)
     chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes)
     if chunk is None:

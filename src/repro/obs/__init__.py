@@ -1,0 +1,67 @@
+"""Zero-dependency structured observability: tracing, counters, profiling.
+
+The package answers "where does the time go?" for a PROCLUS fit without
+perturbing it.  Pieces:
+
+* :class:`~repro.obs.tracer.Tracer` — buffered span/event records with
+  monotonic timings, serialisable to JSONL; off by default via a no-op
+  :class:`~repro.obs.tracer.NullTracer` singleton.
+* :class:`~repro.obs.counters.Counters` — named hot-path counters
+  (kernel rows, cache hits, medoid swaps, outliers).
+* :mod:`~repro.obs.clock` — the one sanctioned monotonic-clock seam the
+  lint rule (RPR002) allows inside the numeric core.
+* :mod:`~repro.obs.logbridge` — opt-in stdlib-``logging`` bridge.
+* :mod:`~repro.obs.schema` — JSONL trace validation
+  (``python -m repro.obs <trace.jsonl>``).
+
+Typical use::
+
+    from repro import proclus
+    result = proclus(X, k=5, l=3, seed=0, profile=True)
+    print(result.profile["phase_seconds"])
+
+or explicitly, to keep the raw records::
+
+    from repro.obs import Tracer, use_tracer
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = proclus(X, k=5, l=3, seed=0, profile=True)
+    tracer.write_jsonl("trace.jsonl")
+"""
+
+from .clock import monotonic_s
+from .counters import Counters
+from .logbridge import LOGGER_NAME, configure_logging, get_logger
+from .report import format_profile
+from .schema import validate_trace_file, validate_trace_lines
+from .tracer import (
+    TRACE_SCHEMA_VERSION,
+    EventRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    maybe_trace,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Counters",
+    "EventRecord",
+    "LOGGER_NAME",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "configure_logging",
+    "format_profile",
+    "get_logger",
+    "get_tracer",
+    "maybe_trace",
+    "monotonic_s",
+    "set_tracer",
+    "use_tracer",
+    "validate_trace_file",
+    "validate_trace_lines",
+]

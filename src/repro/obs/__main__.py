@@ -1,0 +1,38 @@
+"""Trace-file validation entry point: ``python -m repro.obs trace.jsonl``.
+
+Exit code 0 when every record matches the schema, 1 otherwise — the CI
+trace-smoke job runs this against the JSONL produced by
+``proclus run --trace-file``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..exceptions import DataError
+from .schema import validate_trace_file
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate a JSONL trace written by repro.obs.Tracer.",
+    )
+    parser.add_argument("trace", nargs="+", help="trace file(s) to validate")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.trace:
+        try:
+            n_records = validate_trace_file(path)
+        except DataError as exc:
+            print(f"FAIL {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"ok {path}: {n_records} records")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Named monotonically-increasing counters for the hot paths.
+
+A :class:`Counters` registry is a flat ``name -> number`` map with an
+``add`` that tolerates numpy scalars.  The instrumented call sites
+(distance kernels, the iterative cache, the hill climb, refinement)
+bump counters through the active tracer; with the default
+:class:`~repro.obs.tracer.NullTracer` installed the bump is a no-op
+method call, so un-traced runs pay essentially nothing.
+
+Counter updates are plain dict writes: under thread pools concurrent
+bumps may lose increments (they never corrupt the dict).  The shipped
+instrumentation only counts outside thread-dispatched inner loops, so
+in practice the totals are exact; treat them as diagnostics either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+__all__ = ["Counters", "Number"]
+
+Number = Union[int, float]
+
+
+class Counters:
+    """A registry of named additive counters."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Number] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Increment ``name`` by ``value`` (numpy scalars are unwrapped)."""
+        item = getattr(value, "item", None)
+        if callable(item):
+            value = item()
+        self._values[name] = self._values.get(name, 0) + value
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        """Current value of ``name`` (``default`` if never bumped)."""
+        return self._values.get(name, default)
+
+    def merge(self, other: Mapping[str, Number]) -> None:
+        """Add every counter of ``other`` into this registry."""
+        for name, value in other.items():
+            self.add(name, value)
+
+    def as_dict(self) -> Dict[str, Number]:
+        """Sorted snapshot, safe to serialise as JSON."""
+        return {name: self._values[name] for name in sorted(self._values)}
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[str, Number]]:
+        return iter(sorted(self._values.items()))
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"

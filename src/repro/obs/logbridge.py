@@ -1,0 +1,59 @@
+"""Bridge between the tracer and stdlib :mod:`logging`.
+
+The library itself never configures logging (library best practice);
+:func:`configure_logging` is the opt-in used by the CLI's
+``--log-level`` flag and by applications that want human-readable
+phase/event lines instead of (or in addition to) the JSONL trace.
+Everything hangs off the ``"repro"`` logger namespace, so host
+applications can also route it through their own handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, TextIO, Union
+
+from ..exceptions import ParameterError
+
+__all__ = ["LOGGER_NAME", "get_logger", "configure_logging"]
+
+#: Root of the library's logger namespace.
+LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The library logger, or a child of it (``get_logger("trace")``)."""
+    return logging.getLogger(f"{LOGGER_NAME}.{name}" if name else LOGGER_NAME)
+
+
+def _resolve_level(level: Union[int, str]) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ParameterError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(level: Union[int, str] = "INFO", *,
+                      stream: Optional[TextIO] = None,
+                      force: bool = False) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger and set its level.
+
+    Idempotent: an already-configured logger just gets its level updated
+    unless ``force`` replaces the handlers.  Returns the root library
+    logger so callers can hand it to :class:`~repro.obs.tracer.Tracer`.
+    """
+    logger = get_logger()
+    resolved = _resolve_level(level)
+    if force:
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.setLevel(resolved)
+    return logger

@@ -1,0 +1,75 @@
+"""Human-readable rendering of a ``result.profile`` report.
+
+The profile dict itself is JSON-safe and machine-oriented;
+:func:`format_profile` turns it into the aligned text block the CLI
+prints under ``--profile``: per-phase wall seconds, counter totals, and
+the span tree (indented by parent links, slowest first among siblings).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["format_profile"]
+
+_MAX_TREE_SPANS = 40
+
+
+def _format_tree(spans: List[Dict[str, Any]], lines: List[str]) -> None:
+    by_parent: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent"), []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (-float(s.get("dur_s", 0.0)),
+                                     int(s.get("id", 0))))
+    emitted = 0
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        nonlocal emitted
+        for span in by_parent.get(parent, []):
+            if emitted >= _MAX_TREE_SPANS:
+                return
+            marker = "*" if span.get("kind") == "phase" else " "
+            lines.append(
+                f"  {marker}{'  ' * depth}{span.get('name', '?'):<24} "
+                f"{float(span.get('dur_s', 0.0)):>10.6f}s"
+            )
+            emitted += 1
+            walk(span.get("id"), depth + 1)
+
+    walk(None, 0)
+    if len(spans) > emitted:
+        lines.append(f"   ... {len(spans) - emitted} more spans omitted")
+
+
+def format_profile(profile: Optional[Dict[str, Any]]) -> str:
+    """Multi-line text report for a ``result.profile`` dict."""
+    if not profile:
+        return "profile: none recorded (run with profile=True / --profile)"
+    lines: List[str] = ["profile"]
+    phase_seconds = profile.get("phase_seconds") or {}
+    if phase_seconds:
+        lines.append(" phase seconds")
+        total = 0.0
+        for name, seconds in sorted(phase_seconds.items(),
+                                    key=lambda kv: -float(kv[1])):
+            lines.append(f"   {name:<24} {float(seconds):>10.6f}s")
+            total += float(seconds)
+        lines.append(f"   {'(sum)':<24} {total:>10.6f}s")
+    counters = profile.get("counters") or {}
+    if counters:
+        lines.append(" counters")
+        for name, value in sorted(counters.items()):
+            lines.append(f"   {name:<36} {value:>14,}")
+    spans = profile.get("spans") or []
+    if spans:
+        lines.append(f" span tree ({len(spans)} spans, "
+                     f"{profile.get('n_events', 0)} events)")
+        _format_tree(spans, lines)
+    if profile.get("dropped"):
+        lines.append(f" dropped records: {profile['dropped']}")
+    if "winner" in profile:
+        lines.append(" winner restart (worker-side profile)")
+        for line in format_profile(profile["winner"]).splitlines()[1:]:
+            lines.append("  " + line)
+    return "\n".join(lines)

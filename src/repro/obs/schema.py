@@ -1,0 +1,122 @@
+"""Hand-rolled validation of the JSONL trace format.
+
+No ``jsonschema`` dependency — the format is small enough to check
+directly, and the checks double as its authoritative description:
+
+* line 1: ``{"type": "meta", "schema": 1, ...}``
+* spans:  ``{"type": "span", "id", "parent", "name", "kind",
+  "start_s", "end_s", "dur_s", "attrs"}``
+* events: ``{"type": "event", "span", "name", "t_s", "attrs"}``
+* last line: ``{"type": "counters", "values": {...}}``
+
+Used by the CI trace-smoke job (``python -m repro.obs <file>``) and the
+test suite to catch accidental schema drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from ..exceptions import DataError
+from .tracer import TRACE_SCHEMA_VERSION
+
+__all__ = ["validate_trace_lines", "validate_trace_file"]
+
+_NUMBER = (int, float)
+
+_REQUIRED_KEYS = {
+    "meta": {"schema": _NUMBER},
+    "span": {"id": int, "name": str, "kind": str,
+             "start_s": _NUMBER, "end_s": _NUMBER, "dur_s": _NUMBER,
+             "attrs": dict},
+    "event": {"name": str, "t_s": _NUMBER, "attrs": dict},
+    "counters": {"values": dict},
+}
+
+
+def _check_record(record: Dict[str, Any], lineno: int,
+                  errors: List[str]) -> None:
+    kind = record.get("type")
+    spec = _REQUIRED_KEYS.get(kind) if isinstance(kind, str) else None
+    if spec is None:
+        errors.append(f"line {lineno}: unknown record type {kind!r}")
+        return
+    for key, expected in spec.items():
+        if key not in record:
+            errors.append(f"line {lineno}: {kind} record missing {key!r}")
+        elif not isinstance(record[key], expected):
+            errors.append(
+                f"line {lineno}: {kind} field {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+    if kind == "span":
+        parent = record.get("parent")
+        if parent is not None and not isinstance(parent, int):
+            errors.append(f"line {lineno}: span parent must be int or null")
+        if isinstance(record.get("start_s"), _NUMBER) and \
+                isinstance(record.get("end_s"), _NUMBER) and \
+                record["end_s"] < record["start_s"]:
+            errors.append(f"line {lineno}: span ends before it starts")
+    if kind == "event":
+        span = record.get("span")
+        if span is not None and not isinstance(span, int):
+            errors.append(f"line {lineno}: event span must be int or null")
+    if kind == "meta" and record.get("schema") != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"line {lineno}: schema version {record.get('schema')!r}; "
+            f"this library reads version {TRACE_SCHEMA_VERSION}"
+        )
+    if kind == "counters":
+        values = record.get("values")
+        if isinstance(values, dict):
+            for name, value in values.items():
+                if not isinstance(value, _NUMBER):
+                    errors.append(
+                        f"line {lineno}: counter {name!r} is not a number")
+
+
+def validate_trace_lines(lines: Iterable[str]) -> List[str]:
+    """All schema violations in the given JSONL lines (empty = valid)."""
+    errors: List[str] = []
+    seen_meta = False
+    seen_any = False
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        seen_any = True
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: record is not a JSON object")
+            continue
+        if not seen_meta:
+            if record.get("type") != "meta":
+                errors.append("line 1: first record must be the meta header")
+            seen_meta = True
+        _check_record(record, lineno, errors)
+    if not seen_any:
+        errors.append("trace is empty")
+    return errors
+
+
+def validate_trace_file(path: Union[str, Path]) -> int:
+    """Validate a trace file; returns the record count, raises on violations."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise DataError(f"cannot read trace file {path}: {exc}")
+    errors = validate_trace_lines(lines)
+    if errors:
+        preview = "; ".join(errors[:5])
+        raise DataError(
+            f"{path} violates the trace schema ({len(errors)} problems): "
+            f"{preview}"
+        )
+    return sum(1 for line in lines if line.strip())

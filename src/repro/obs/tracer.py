@@ -1,0 +1,394 @@
+"""Structured tracing: typed span/event records with monotonic timings.
+
+The :class:`Tracer` buffers records in-process (no I/O on the hot path)
+and serialises them to JSONL on demand.  Three record types:
+
+* **span** — a named interval (``start_s``/``end_s`` on the monotonic
+  clock) with an id, a parent id (spans nest via a stack), a ``kind``
+  (``"phase"`` for algorithm phases, ``"span"`` otherwise), and free-form
+  JSON-safe attributes.
+* **event** — a named instant (iteration tick, medoid swap, restart
+  retry, degradation) anchored to the enclosing span, if any.
+* **counters** — the final totals of the tracer's
+  :class:`~repro.obs.counters.Counters` registry.
+
+Tracing is **off by default**: the module-level "current tracer" starts
+as a :class:`NullTracer` singleton whose methods are no-ops, so
+instrumented code paths cost one attribute lookup and an empty method
+call.  Install a real tracer for a block with :func:`use_tracer`, or let
+:func:`maybe_trace` create one when a ``profile=True`` flag asks for it.
+
+The current tracer is process-global (not thread-local): worker
+*processes* start with their own ``NullTracer`` and opt in explicitly,
+while threads within one process share the installed tracer.  Record
+appends are plain list appends (atomic under the GIL); interleaved spans
+from concurrent threads are legal but their parent links follow the
+shared stack, so keep span entry/exit on one thread.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Union
+
+from .clock import monotonic_s
+from .counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    import logging
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SpanRecord",
+    "EventRecord",
+    "NullTracer",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "maybe_trace",
+]
+
+#: Version stamp written into every trace header and profile report.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce ``value`` to something ``json.dumps`` accepts losslessly."""
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy arrays and scalars
+        try:
+            return tolist()
+        except Exception:
+            return str(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def _jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _jsonable(value) for key, value in attrs.items()}
+
+
+@dataclass
+class SpanRecord:
+    """One closed interval on the monotonic clock."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str
+    start_s: float
+    end_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "dur_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass
+class EventRecord:
+    """One named instant, anchored to the span that was open at the time."""
+
+    span_id: Optional[int]
+    name: str
+    t_s: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "event",
+            "span": self.span_id,
+            "name": self.name,
+            "t_s": self.t_s,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer installed by default.
+
+    Every method is a cheap no-op so instrumentation can call the
+    current tracer unconditionally.  :class:`Tracer` subclasses this,
+    which also gives call sites a single static type to hold.
+    """
+
+    enabled: bool = False
+
+    def span(self, name: str, kind: str = "span", **attrs: Any) -> Any:
+        return _NULL_SPAN
+
+    def phase(self, name: str, **attrs: Any) -> Any:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def count(self, name: str, value: Union[int, float] = 1) -> None:
+        return None
+
+    def profile(self) -> Optional[Dict[str, Any]]:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+class _Span:
+    """Context manager recording one span on a live :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "_name", "_kind", "_attrs", "_span_id",
+                 "_parent_id", "_start_s")
+
+    def __init__(self, tracer: "Tracer", name: str, kind: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._kind = kind
+        self._attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Merge extra attributes into the span (e.g. outcomes known at exit)."""
+        self._attrs.update(_jsonable_attrs(attrs))
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._span_id = tracer._next_span_id()
+        self._parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._stack.append(self._span_id)
+        self._start_s = tracer._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        tracer = self._tracer
+        end_s = tracer._clock()
+        if tracer._stack and tracer._stack[-1] == self._span_id:
+            tracer._stack.pop()
+        tracer._record_span(SpanRecord(
+            span_id=self._span_id,
+            parent_id=self._parent_id,
+            name=self._name,
+            kind=self._kind,
+            start_s=self._start_s,
+            end_s=end_s,
+            attrs=self._attrs,
+        ))
+        return False
+
+
+class Tracer(NullTracer):
+    """In-process buffer of span/event records plus a counter registry.
+
+    Parameters
+    ----------
+    logger:
+        Optional stdlib logger to mirror records to as they close:
+        phases at ``INFO``, other spans and events at ``DEBUG``.
+    max_records:
+        Safety cap on buffered spans+events; once reached, further
+        records are dropped (and counted in ``profile()["dropped"]``)
+        rather than growing without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, logger: Optional["logging.Logger"] = None,
+                 max_records: int = 200_000) -> None:
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self.counters = Counters()
+        self._stack: List[int] = []
+        self._ids = 0
+        self._clock = monotonic_s
+        self._log = logger
+        self._max_records = max_records
+        self._dropped = 0
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, kind: str = "span", **attrs: Any) -> _Span:
+        """Context manager: record ``name`` as a span around the block."""
+        return _Span(self, name, kind, _jsonable_attrs(attrs))
+
+    def phase(self, name: str, **attrs: Any) -> _Span:
+        """An algorithm-phase span; aggregated into ``phase_seconds``."""
+        return self.span(name, kind="phase", **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event under the currently open span."""
+        record = EventRecord(
+            span_id=self._stack[-1] if self._stack else None,
+            name=name,
+            t_s=self._clock(),
+            attrs=_jsonable_attrs(attrs),
+        )
+        if len(self.spans) + len(self.events) >= self._max_records:
+            self._dropped += 1
+            return
+        self.events.append(record)
+        if self._log is not None:
+            self._log.debug("event %s %r", name, record.attrs)
+
+    def count(self, name: str, value: Union[int, float] = 1) -> None:
+        """Bump counter ``name`` by ``value``."""
+        self.counters.add(name, value)
+
+    def _next_span_id(self) -> int:
+        self._ids += 1
+        return self._ids
+
+    def _record_span(self, record: SpanRecord) -> None:
+        if len(self.spans) + len(self.events) >= self._max_records:
+            self._dropped += 1
+            return
+        self.spans.append(record)
+        if self._log is not None:
+            if record.kind == "phase":
+                self._log.info("phase %-16s %.6fs", record.name,
+                               record.duration_s)
+            else:
+                self._log.debug("span %s %.6fs %r", record.name,
+                                record.duration_s, record.attrs)
+
+    # -- reporting -----------------------------------------------------
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total seconds per phase name, summed over ``kind="phase"`` spans."""
+        out: Dict[str, float] = {}
+        for record in self.spans:
+            if record.kind == "phase":
+                out[record.name] = out.get(record.name, 0.0) + record.duration_s
+        return out
+
+    def profile(self) -> Dict[str, Any]:
+        """The JSON-safe profile report attached to ``result.profile``."""
+        report: Dict[str, Any] = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "phase_seconds": self.phase_seconds(),
+            "counters": self.counters.as_dict(),
+            "n_spans": len(self.spans),
+            "n_events": len(self.events),
+            "spans": [record.as_dict() for record in self.spans],
+            "events": [record.as_dict() for record in self.events],
+        }
+        if self._dropped:
+            report["dropped"] = self._dropped
+        return report
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """All records as JSON-safe dicts: header, spans, events, counters."""
+        yield {"type": "meta", "schema": TRACE_SCHEMA_VERSION,
+               "clock": "monotonic", "origin": "repro.obs"}
+        for span in self.spans:
+            yield span.as_dict()
+        for event in self.events:
+            yield event.as_dict()
+        yield {"type": "counters", "values": self.counters.as_dict()}
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Serialise the buffered records to ``path`` as JSON Lines."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self.iter_records():
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return path
+
+    def clear(self) -> None:
+        """Drop all buffered records and counters."""
+        self.spans.clear()
+        self.events.clear()
+        self.counters.clear()
+        self._stack.clear()
+        self._dropped = 0
+
+    def __repr__(self) -> str:
+        return (f"Tracer(spans={len(self.spans)}, events={len(self.events)}, "
+                f"counters={len(self.counters)})")
+
+
+#: The process-wide current tracer; a no-op until someone installs one.
+_NULL_TRACER = NullTracer()
+_current_tracer: NullTracer = _NULL_TRACER
+
+
+def get_tracer() -> NullTracer:
+    """The currently installed tracer (a :class:`NullTracer` by default)."""
+    return _current_tracer
+
+
+def set_tracer(tracer: Optional[NullTracer]) -> NullTracer:
+    """Install ``tracer`` (``None`` restores the null tracer); returns the previous one."""
+    global _current_tracer
+    previous = _current_tracer
+    _current_tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: NullTracer) -> Iterator[NullTracer]:
+    """Install ``tracer`` for the duration of the block, then restore."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def maybe_trace(profile: bool) -> Iterator[NullTracer]:
+    """The active tracer, creating one if ``profile`` asks and none is installed.
+
+    With ``profile=False`` this simply yields whatever is currently
+    installed (so an ambient :func:`use_tracer` still wins); with
+    ``profile=True`` and only the null tracer installed, a fresh
+    :class:`Tracer` is installed for the block and restored afterwards.
+    """
+    current = get_tracer()
+    if profile and not current.enabled:
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            yield tracer
+        finally:
+            set_tracer(previous)
+    else:
+        yield current

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..distance.base import Metric, get_metric
 from ..distance.matrix import cross_distances, per_dimension_average_distance
+from ..obs import get_tracer
 from ..robustness.guards import DEFAULT_MEMORY_BUDGET_BYTES
 from .kernels import segmental_columns
 
@@ -214,6 +215,11 @@ class IterativeCache:
                 self._distance.put(
                     (int(medoid_indices[j]), mkey), col
                 )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("cache.distance_computed", len(missing))
+            tracer.count("cache.distance_served",
+                         medoid_indices.size - len(missing))
         return out
 
     # ------------------------------------------------------------------
@@ -249,6 +255,11 @@ class IterativeCache:
                 col = np.ascontiguousarray(fresh[:, slot])
                 out[:, j] = col
                 self._segmental.put(keys[j], col)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("cache.segmental_computed", len(missing))
+            tracer.count("cache.segmental_served",
+                         medoid_indices.size - len(missing))
         return out
 
     # ------------------------------------------------------------------

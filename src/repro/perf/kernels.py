@@ -21,6 +21,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..obs import get_tracer
 from ..robustness.guards import resolve_row_chunk
 
 __all__ = ["build_dims_layout", "segmental_columns"]
@@ -76,6 +77,9 @@ def segmental_columns(X: np.ndarray, medoids: np.ndarray,
     # medoid coordinate under each concatenated (owner, dim) slot
     p_flat = medoids[np.repeat(np.arange(k), counts), flat]
     n = X.shape[0]
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("kernel.segmental_rows", n * k)
     if out is None:
         out = np.empty((n, k), dtype=np.float64)
     chunk = resolve_row_chunk(n, flat.size, memory_budget_bytes)

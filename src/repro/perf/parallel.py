@@ -44,7 +44,6 @@ from __future__ import annotations
 
 import math
 import os
-import time
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -57,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - deferred heavy import
     from multiprocessing.shared_memory import SharedMemory
 
 from ..exceptions import ParameterError
+from ..obs import maybe_trace, monotonic_s
 from ..robustness.guards import Deadline
 from ..validation import check_n_jobs
 
@@ -280,12 +280,18 @@ class RestartFanoutOutcome:
 def _restart_worker(
     descriptor: Dict[str, object], index: int, seed: np.random.Generator,
     remaining_s: Optional[float], fit_kwargs: Dict,
+    profile: bool = False,
 ) -> Tuple[int, object, List[str], float]:
     """One restart, executed in a pool worker.
 
     Imports are deferred: this module must stay importable from the
     distance layer without dragging in the core package (which imports
     the distance layer right back).
+
+    With ``profile=True`` the worker runs its fit under a local tracer
+    and ships the spans home as ``result.profile`` — the payload tuple
+    shape stays fixed, so the supervisor's payload validation and the
+    checkpoint format are unaffected.
     """
     from ..core.proclus import _fit
 
@@ -295,16 +301,21 @@ def _restart_worker(
     k = params.pop("k")
     l = params.pop("l")
     notes: List[str] = []
-    t0 = time.perf_counter()
-    result = _fit(X, k, l, restarts=1, seed=seed, deadline=deadline,
-                  notes=notes, n_jobs=1, **params)
-    return index, result, notes, time.perf_counter() - t0
+    t0 = monotonic_s()
+    with maybe_trace(profile) as tracer:
+        with tracer.span("restart", index=index):
+            result = _fit(X, k, l, restarts=1, seed=seed, deadline=deadline,
+                          notes=notes, n_jobs=1, **params)
+        if tracer.enabled:
+            result.profile = tracer.profile()
+    return index, result, notes, monotonic_s() - t0
 
 
 def run_parallel_restarts(X: np.ndarray, children: Sequence, *,
                           n_jobs: int,
                           deadline: Optional[Deadline],
-                          fit_kwargs: Dict) -> RestartFanoutOutcome:
+                          fit_kwargs: Dict,
+                          profile: bool = False) -> RestartFanoutOutcome:
     """Fan independent restarts out over a process pool.
 
     Parameters
@@ -347,7 +358,7 @@ def run_parallel_restarts(X: np.ndarray, children: Sequence, *,
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
                 pool.submit(_restart_worker, plane.descriptor, i, child,
-                            remaining, fit_kwargs)
+                            remaining, fit_kwargs, profile)
                 for i, child in enumerate(children)
             }
             while pending:

@@ -75,6 +75,7 @@ from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
 import numpy as np
 
 from ..exceptions import CheckpointError, ParameterError
+from ..obs import get_tracer
 from .guards import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
@@ -479,7 +480,7 @@ def _fault_tolerance_dict(*, max_retries: int,
 def _supervised_worker(
     descriptor: Dict[str, object], index: int, seed: np.random.Generator,
     remaining_s: Optional[float], fit_kwargs: Dict, attempt: int,
-    fault: Optional[ProcessFaultSpec],
+    fault: Optional[ProcessFaultSpec], profile: bool = False,
 ) -> Tuple[int, object, List[str], float]:
     """One supervised restart inside a pool worker.
 
@@ -492,7 +493,8 @@ def _supervised_worker(
         return (index, None, [], 0.0)  # corrupt payload
     from ..perf.parallel import _restart_worker
 
-    return _restart_worker(descriptor, index, seed, remaining_s, fit_kwargs)
+    return _restart_worker(descriptor, index, seed, remaining_s, fit_kwargs,
+                           profile)
 
 
 def _valid_payload(payload: object, index: int) -> bool:
@@ -517,6 +519,7 @@ def _valid_payload(payload: object, index: int) -> bool:
 def _run_one_serial(X: np.ndarray, child: np.random.Generator,
                     deadline: Optional[Deadline],
                     fit_kwargs: Dict[str, Any],
+                    index: Optional[int] = None,
                     ) -> Tuple["ProclusResult", List[str], float]:
     """One restart computed in the parent process (exact serial path)."""
     from ..core.proclus import _fit
@@ -526,8 +529,9 @@ def _run_one_serial(X: np.ndarray, child: np.random.Generator,
     l = params.pop("l")
     notes: List[str] = []
     t0 = time.perf_counter()
-    result = _fit(X, k, l, restarts=1, seed=child, deadline=deadline,
-                  notes=notes, n_jobs=1, **params)
+    with get_tracer().span("restart", index=index):
+        result = _fit(X, k, l, restarts=1, seed=child, deadline=deadline,
+                      notes=notes, n_jobs=1, **params)
     return result, notes, time.perf_counter() - t0
 
 
@@ -578,7 +582,7 @@ def run_serial_restarts(X: np.ndarray,
                 watch.request_stop(signal.SIGINT)
                 break
             result, notes_i, secs = _run_one_serial(
-                X, child, deadline, fit_kwargs)
+                X, child, deadline, fit_kwargs, index=i)
             results[i] = result
             child_notes[i] = notes_i
             seconds[i] = secs
@@ -646,6 +650,7 @@ def supervise_restarts(X: np.ndarray,
                        poll_interval_s: float = POLL_INTERVAL_S,
                        backoff_base_s: float = BACKOFF_BASE_S,
                        backoff_cap_s: float = BACKOFF_CAP_S,
+                       profile: bool = False,
                        ) -> SupervisedOutcome:
     """Fan restarts out over a process pool under full supervision.
 
@@ -660,6 +665,10 @@ def supervise_restarts(X: np.ndarray,
     ships a :class:`~repro.robustness.faults.ProcessFaultSpec` to every
     worker, the latter simulates a SIGINT arriving after N newly
     computed restarts complete.
+
+    ``profile=True`` asks each worker to run its restart under a fresh
+    tracer (:mod:`repro.obs`) and attach the per-restart profile to the
+    result it ships back; the caller surfaces the winner's profile.
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
     from concurrent.futures import wait as futures_wait
@@ -681,6 +690,7 @@ def supervise_restarts(X: np.ndarray,
     resumed = 0
     deadline_cancelled = 0
     exhausted: List[int] = []
+    tracer = get_tracer()
 
     if checkpoint is not None:
         for index, (res, notes_i, secs) in checkpoint.completed().items():
@@ -688,6 +698,8 @@ def supervise_restarts(X: np.ndarray,
             child_notes[index] = notes_i
             seconds[index] = secs
         resumed = len(results)
+        if resumed and tracer.enabled:
+            tracer.event("resume_loaded", n_restarts=resumed)
 
     todo: "deque[Tuple[int, int]]" = deque(
         (i, 0) for i in range(restarts) if i not in results
@@ -703,12 +715,19 @@ def supervise_restarts(X: np.ndarray,
         seconds[index] = secs
         if checkpoint is not None:
             checkpoint.record(index, result, notes_i, secs)
+        if tracer.enabled:
+            tracer.event("restart_completed", index=index,
+                         seconds=float(secs))
 
     def _fail(index: int, attempt: int) -> None:
         nonlocal retries
         if attempt < max_retries:
             retries += 1
             todo.append((index, attempt + 1))
+            if tracer.enabled:
+                tracer.count("supervisor.retries")
+                tracer.event("restart_retry", index=index,
+                             attempt=attempt + 1)
         elif index not in exhausted:
             exhausted.append(index)
 
@@ -726,6 +745,9 @@ def supervise_restarts(X: np.ndarray,
                 pool = ProcessPoolExecutor(max_workers=workers)
             while todo or inflight:
                 if watch.stop_requested:
+                    if tracer.enabled:
+                        tracer.event("signal_stop",
+                                     pending=len(todo) + len(inflight))
                     break
                 if (interrupt_after is not None
                         and len(results) - resumed >= interrupt_after):
@@ -746,7 +768,7 @@ def supervise_restarts(X: np.ndarray,
                         fut = pool.submit(
                             _supervised_worker, plane.descriptor, index,
                             children[index], remaining, fit_kwargs, attempt,
-                            fault_spec,
+                            fault_spec, profile,
                         )
                     except (BrokenProcessPool, RuntimeError):
                         # pool already broken: nothing was dispatched, so
@@ -770,6 +792,9 @@ def supervise_restarts(X: np.ndarray,
                             continue
                         if not _valid_payload(payload, index):
                             corrupt_payloads += 1
+                            if tracer.enabled:
+                                tracer.event("corrupt_payload", index=index,
+                                             attempt=attempt)
                             _fail(index, attempt)
                             continue
                         _, result, notes_i, secs = payload
@@ -783,6 +808,8 @@ def supervise_restarts(X: np.ndarray,
                     inflight.clear()
                     _terminate_pool(pool, kill=True)
                     respawns += 1
+                    if tracer.enabled:
+                        tracer.event("pool_respawn", respawns=respawns)
                     _backoff()
                     pool = ProcessPoolExecutor(max_workers=workers)
                     continue
@@ -796,6 +823,9 @@ def supervise_restarts(X: np.ndarray,
                     if hung:
                         for fut, index, attempt in hung:
                             timeouts += 1
+                            if tracer.enabled:
+                                tracer.event("restart_timeout", index=index,
+                                             attempt=attempt)
                             _fail(index, attempt)
                             del inflight[fut]
                         # running futures cannot be cancelled: kill the
@@ -823,8 +853,10 @@ def supervise_restarts(X: np.ndarray,
             if deadline is not None and deadline.expired():
                 deadline_cancelled += 1
                 continue
+            if tracer.enabled:
+                tracer.event("salvage_serial", index=index)
             result, notes_i, secs = _run_one_serial(
-                X, children[index], deadline, fit_kwargs)
+                X, children[index], deadline, fit_kwargs, index=index)
             _record(index, result, notes_i, secs)
             salvaged += 1
 

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from typing import List
 
 import numpy as np
+
+from repro.obs.clock import monotonic_s
 
 
 def shuffled_copy(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -16,10 +17,10 @@ def shuffled_copy(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
 
 
 def timed_lengths(groups: List[List[int]]) -> List[int]:
-    """perf_counter durations and sorted-set iteration are both legal."""
-    t0 = time.perf_counter()
+    """The sanctioned clock seam and sorted-set iteration are both legal."""
+    t0 = monotonic_s()
     sizes = [len(g) for g in groups]
     for tag in sorted({"a", "b"}):
         sizes.append(len(tag))
-    sizes.append(int(time.perf_counter() - t0 >= 0.0))
+    sizes.append(int(monotonic_s() - t0 >= 0.0))
     return sizes

@@ -14,7 +14,7 @@ def stamp(values):
     return t, salt, out, doubled
 
 
-def legal_duration(values):
-    t0 = time.perf_counter()            # allowed: duration diagnostics
+def raw_duration(values):
+    t0 = time.perf_counter()            # flagged: raw duration clock
     ordered = [v for v in sorted(set(values))]  # allowed: pinned order
     return ordered, time.perf_counter() - t0

@@ -53,12 +53,13 @@ def test_rpr002_flags_wall_clock_and_set_iteration_in_core_scope():
     findings = lint_file(FIXTURES / "core" / "rpr002_wallclock.py",
                          select=["RPR002"])
     messages = "\n".join(f.message for f in findings)
-    assert len(findings) == 4
+    assert len(findings) == 6
     assert "time.time" in messages
     assert "os.urandom" in messages
     assert messages.count("unordered set") == 2
-    # perf_counter and sorted(set(...)) in the same file stay legal
-    assert "perf_counter" not in messages
+    # raw duration clocks are funnelled through the repro.obs.clock seam
+    assert messages.count("raw duration clock") == 2
+    assert "time.perf_counter" in messages
 
 
 def test_rpr002_is_scoped_to_core_perf_distance():

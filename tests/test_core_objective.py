@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import evaluate_clusters
-from repro.core.objective import cluster_dispersions
+from repro.core.objective import (cluster_dispersions,
+                                  cluster_dispersions_and_sizes)
 from repro.exceptions import ParameterError
 
 
@@ -62,3 +63,60 @@ class TestEvaluateClusters:
     def test_empty_labels_rejected(self):
         with pytest.raises(ParameterError, match="empty"):
             evaluate_clusters(np.zeros((0, 2)), np.array([], dtype=int), [(0,)])
+
+
+class TestLabelValidation:
+    def test_label_above_range_rejected(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(ParameterError, match="label 5 is outside"):
+            evaluate_clusters(X, np.array([0, 1, 5]), [(0,), (1,)])
+
+    def test_label_below_outlier_rejected(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(ParameterError, match="label -2 is outside"):
+            cluster_dispersions(X, np.array([0, -2, 1]), [(0,), (1,)])
+
+    def test_outlier_label_accepted(self):
+        X = np.zeros((3, 2))
+        w = cluster_dispersions(X, np.array([0, -1, 1]), [(0,), (1,)])
+        assert set(w) == {0, 1}
+
+
+class TestOnePassDispersions:
+    def _reference(self, X, labels, dim_sets):
+        """The historical double-mask implementation, kept as the oracle."""
+        dispersions, sizes = {}, {}
+        for i in range(len(dim_sets)):
+            dims = np.asarray(list(dim_sets[i]), dtype=np.intp)
+            if np.count_nonzero(labels == i) == 0:
+                dispersions[i] = 0.0
+            else:
+                sub = X[labels == i][:, dims]
+                centroid = sub.mean(axis=0)
+                dispersions[i] = float(np.abs(sub - centroid).mean())
+            sizes[i] = int(np.count_nonzero(labels == i))
+        return dispersions, sizes
+
+    def test_bit_identical_to_double_mask_reference(self):
+        rng = np.random.default_rng(11)
+        for trial in range(25):
+            n = int(rng.integers(5, 120))
+            d = int(rng.integers(2, 12))
+            k = int(rng.integers(1, 6))
+            X = rng.normal(size=(n, d)) * rng.uniform(0.1, 50)
+            labels = rng.integers(-1, k, size=n)
+            dim_sets = [
+                tuple(sorted(rng.choice(d, size=rng.integers(1, d + 1),
+                                        replace=False).tolist()))
+                for _ in range(k)
+            ]
+            got_w, got_s = cluster_dispersions_and_sizes(X, labels, dim_sets)
+            ref_w, ref_s = self._reference(X, labels, dim_sets)
+            assert got_s == ref_s
+            assert got_w == ref_w  # exact float equality: same reduction
+
+    def test_sizes_match_mask_counts(self):
+        X = np.arange(12, dtype=float).reshape(6, 2)
+        labels = np.array([0, 0, 1, -1, 1, 1])
+        _, sizes = cluster_dispersions_and_sizes(X, labels, [(0,), (0, 1)])
+        assert sizes == {0: 2, 1: 3}

@@ -6,6 +6,7 @@ import pytest
 from repro.core import refine_clusters
 from repro.core.refinement import detect_outliers, spheres_of_influence
 from repro.data.dataset import OUTLIER_LABEL
+from repro.exceptions import ParameterError
 
 
 class TestSpheresOfInfluence:
@@ -27,6 +28,41 @@ class TestSpheresOfInfluence:
         spheres = spheres_of_influence(np.array([[1.0, 2.0]]), [(0, 1)])
         assert np.isinf(spheres[0])
 
+    def test_empty_dimension_set_rejected(self):
+        with pytest.raises(ParameterError, match="empty dimension set"):
+            spheres_of_influence(np.zeros((2, 3)), [(0,), ()])
+
+    def test_mismatched_dim_sets_rejected(self):
+        with pytest.raises(ParameterError, match="dimension sets"):
+            spheres_of_influence(np.zeros((3, 2)), [(0,), (1,)])
+
+    def test_bit_identical_to_per_medoid_loop(self):
+        # oracle: the historical np.delete + point-kernel loop
+        from repro.distance.segmental import segmental_distances_to_point
+
+        rng = np.random.default_rng(23)
+        for trial in range(60):
+            k = int(rng.integers(1, 9))
+            d = int(rng.integers(2, 40))
+            medoids = rng.normal(size=(k, d)) * rng.uniform(0.1, 100)
+            dims = [
+                tuple(sorted(rng.choice(d, size=rng.integers(1, d + 1),
+                                        replace=False).tolist()))
+                for _ in range(k)
+            ]
+            got = spheres_of_influence(medoids, dims)
+            ref = np.empty(k)
+            for i in range(k):
+                others = np.delete(np.arange(k), i)
+                if others.size == 0:
+                    ref[i] = np.inf
+                    continue
+                ref[i] = segmental_distances_to_point(
+                    medoids[others], medoids[i], dims[i]).min()
+            # exact equality: the matrix path must reduce with the same
+            # summation order as the historical per-medoid gathers
+            assert np.array_equal(got, ref), (trial, k, d)
+
 
 class TestDetectOutliers:
     def test_outside_every_sphere(self):
@@ -38,6 +74,20 @@ class TestDetectOutliers:
     def test_boundary_not_outlier(self):
         dist = np.array([[2.0, 9.0]])
         spheres = np.array([2.0, 3.0])
+        assert detect_outliers(dist, spheres).tolist() == [False]
+
+    def test_equality_on_every_sphere_not_outlier(self):
+        # the comparison is strictly >: sitting exactly on every sphere
+        # keeps the point assigned
+        dist = np.array([[2.0, 3.0]])
+        spheres = np.array([2.0, 3.0])
+        assert detect_outliers(dist, spheres).tolist() == [False]
+        nudged = np.nextafter(dist, np.inf)
+        assert detect_outliers(nudged, spheres).tolist() == [True]
+
+    def test_infinite_sphere_suppresses_outliers(self):
+        dist = np.array([[1e12]])
+        spheres = np.array([np.inf])
         assert detect_outliers(dist, spheres).tolist() == [False]
 
 
@@ -82,3 +132,14 @@ class TestRefineClusters:
                               np.array([5, 45]), l=2)
         assert out.spheres.shape == (2,)
         assert (out.spheres > 0).all()
+
+    def test_single_cluster_has_no_outliers(self, two_cluster_points):
+        # k=1: no other medoid, so the sphere of influence is infinite
+        # and no point can ever sit outside it
+        X = np.vstack([two_cluster_points,
+                       [[500.0, 500.0, 500.0, 500.0]]])
+        rough = np.zeros(81, dtype=int)
+        out = refine_clusters(X, rough, np.array([5]), l=2)
+        assert np.isinf(out.spheres).all()
+        assert out.n_outliers == 0
+        assert (out.labels == 0).all()
