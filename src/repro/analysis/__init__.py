@@ -17,6 +17,9 @@ RPR004    public API surface has complete type annotations and raises
           only :mod:`repro.exceptions` types
 RPR005    ``multiprocessing`` targets are module-level functions taking
           only declared-shareable argument types
+RPR006    no float64 re-coercions of arrays inside ``core/``, ``perf/``,
+          ``distance/`` — the working dtype chosen at the API boundary
+          is preserved (seams: :mod:`repro.dtypes`)
 ========  =============================================================
 
 Entry points: ``proclus lint`` (CLI), ``python -m repro.analysis``, or

@@ -47,7 +47,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="determinism & contract lint for the PROCLUS "
-                    "reproduction (rules RPR001-RPR005)",
+                    "reproduction (rules RPR001-RPR006)",
     )
     add_lint_arguments(parser)
     try:

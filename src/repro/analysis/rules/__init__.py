@@ -16,6 +16,7 @@ from .rpr002_nondeterminism import NondeterminismRule
 from .rpr003_cache_keys import CacheKeyRule
 from .rpr004_api_contract import ApiContractRule
 from .rpr005_picklable import PicklableTargetRule
+from .rpr006_dtype import DtypeCoercionRule
 
 __all__ = [
     "Rule",
@@ -30,6 +31,7 @@ ALL_RULES: List[Type[Rule]] = [
     CacheKeyRule,
     ApiContractRule,
     PicklableTargetRule,
+    DtypeCoercionRule,
 ]
 
 

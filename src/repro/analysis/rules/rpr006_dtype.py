@@ -1,0 +1,111 @@
+"""RPR006 — no dtype-destroying float64 coercions in the numeric core.
+
+Scoped to ``core/``, ``perf/`` and ``distance/``: the packages that
+make up the precision-aware compute path.  The working dtype (float32
+or float64) is chosen **once** at the public API boundary and every
+kernel downstream computes natively in it — an
+``np.asarray(X, dtype=np.float64)`` buried inside a kernel silently
+re-widens a float32 array, doubling the bytes moved and breaking the
+"float32 in, float32 out" contract without any visible failure.
+
+Flagged patterns (when the target dtype resolves to float64):
+
+* ``np.asarray(x, dtype=np.float64)`` / ``np.asarray(x, np.float64)``
+* ``np.array(...)`` and ``np.ascontiguousarray(...)`` likewise
+* ``x.astype(np.float64)`` / ``x.astype("float64")``
+
+The sanctioned seams live in :mod:`repro.dtypes` (outside the scoped
+directories): :func:`~repro.dtypes.as_working` preserves a working
+dtype, and :func:`~repro.dtypes.to_float64` performs the explicit
+ranking/accumulation up-cast where the contract *requires* float64.
+Reduction accumulators (``.mean(dtype=np.float64)``) and fresh-buffer
+allocations (``np.empty(..., dtype=np.float64)``) do not destroy an
+input's dtype and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..contracts import DETERMINISM_SCOPED_DIRS
+from ..engine import FileContext, Finding
+from .base import Rule, collect_imports, resolve_qualified
+
+__all__ = ["DtypeCoercionRule"]
+
+# numpy converters whose dtype argument rewrites an existing array
+_CONVERTERS = (
+    "numpy.asarray",
+    "numpy.array",
+    "numpy.ascontiguousarray",
+    "numpy.asfortranarray",
+)
+
+_FLOAT64_NAMES = ("numpy.float64", "numpy.double", "numpy.dtypes.Float64DType")
+_FLOAT64_STRINGS = ("float64", "f8", "<f8", "d", "double")
+
+
+def _is_float64(node: ast.AST, imports: dict) -> bool:
+    """Does this expression spell the float64 dtype?"""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _FLOAT64_STRINGS
+    qname = resolve_qualified(node, imports)
+    if qname in _FLOAT64_NAMES:
+        return True
+    # np.dtype(np.float64) / np.dtype("float64")
+    if (isinstance(node, ast.Call)
+            and resolve_qualified(node.func, imports) == "numpy.dtype"
+            and node.args):
+        return _is_float64(node.args[0], imports)
+    return False
+
+
+def _dtype_argument(node: ast.Call, positional_slot: Optional[int]) -> Optional[ast.AST]:
+    """The expression passed as the call's dtype, if any."""
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    if positional_slot is not None and len(node.args) > positional_slot:
+        return node.args[positional_slot]
+    return None
+
+
+class DtypeCoercionRule(Rule):
+    rule_id = "RPR006"
+    severity = "error"
+    summary = "no float64 re-coercions of arrays in core/perf/distance"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(*DETERMINISM_SCOPED_DIRS):
+            return
+        imports = collect_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qname = resolve_qualified(node.func, imports)
+            if qname in _CONVERTERS:
+                dtype_arg = _dtype_argument(node, positional_slot=1)
+                if dtype_arg is not None and _is_float64(dtype_arg, imports):
+                    yield self.finding(
+                        ctx, node,
+                        f"{qname.split('.', 1)[1]}(..., dtype=float64) "
+                        "re-widens the working dtype inside the "
+                        "precision-scoped core",
+                        hint="preserve the input dtype with "
+                             "repro.dtypes.as_working, or make the "
+                             "ranking up-cast explicit with "
+                             "repro.dtypes.to_float64",
+                    )
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "astype"):
+                dtype_arg = _dtype_argument(node, positional_slot=0)
+                if dtype_arg is not None and _is_float64(dtype_arg, imports):
+                    yield self.finding(
+                        ctx, node,
+                        ".astype(float64) re-widens the working dtype "
+                        "inside the precision-scoped core",
+                        hint="preserve the input dtype, or use "
+                             "repro.dtypes.to_float64 for a sanctioned "
+                             "ranking/accumulation up-cast",
+                    )

@@ -19,7 +19,7 @@ Subcommands
     Run a registered paper experiment (``table1`` .. ``table5``,
     ``fig7`` .. ``fig9``, ablations) and print its report.
 ``lint``
-    Run the determinism & contract lint gate (rules RPR001-RPR005)
+    Run the determinism & contract lint gate (rules RPR001-RPR006)
     over source trees; exits nonzero on any finding.
 ``list``
     List available experiments.
@@ -115,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="feed the CSV to PROCLUS verbatim: no bad-value "
                         "handling, no degradation ladder (degenerate "
                         "input raises)")
+    c.add_argument("--dtype", default="float64",
+                   choices=["float64", "float32"],
+                   help="working dtype of the compute path: float64 "
+                        "(default, the bit-exact reference path) or "
+                        "float32 (half the memory bandwidth per kernel; "
+                        "deterministic within the dtype)")
     c.add_argument("--profile", action="store_true",
                    help="trace the run (phase spans, counters) and print "
                         "a profile report after the summary; results are "
@@ -175,12 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     ln = sub.add_parser(
         "lint",
-        help="determinism & contract lint (RPR001-RPR005)",
+        help="determinism & contract lint (RPR001-RPR006)",
         description="Static analysis of the library's determinism "
                     "contracts: seeded-Generator threading, wall-clock "
-                    "hygiene, cache-key completeness, API typing, and "
-                    "multiprocessing picklability. Exit code 0 means "
-                    "every contract holds.",
+                    "hygiene, cache-key completeness, API typing, "
+                    "multiprocessing picklability, and working-dtype "
+                    "preservation. Exit code 0 means every contract "
+                    "holds.",
     )
     from .analysis.cli import add_lint_arguments
     add_lint_arguments(ln)
@@ -267,6 +274,7 @@ def _cmd_cluster(args) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 profile=tracing,
+                dtype=args.dtype,
                 seed=args.seed,
             )
     if tracer is not None and args.trace_file:

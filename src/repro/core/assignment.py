@@ -42,7 +42,7 @@ def segmental_distance_matrix(X: np.ndarray, medoids: np.ndarray,
     where possible (bit-identical to the direct computation).
     """
     X = check_array(X, name="X")
-    medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
+    medoids = np.atleast_2d(np.asarray(medoids, dtype=X.dtype))
     k = medoids.shape[0]
     if len(dim_sets) != k:
         raise ParameterError(

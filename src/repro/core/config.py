@@ -25,6 +25,7 @@ from ..distance.base import Metric
 from ..exceptions import ParameterError
 from ..rng import SeedLike
 from ..validation import (
+    check_dtype,
     check_fraction,
     check_k_l,
     check_max_retries,
@@ -102,6 +103,11 @@ class ProclusConfig:
         Requires ``checkpoint_dir``; raises
         :class:`~repro.exceptions.CheckpointError` when the directory
         records a different run (other seed, restarts, or parameters).
+    dtype:
+        Working dtype of the compute path: ``"float64"`` (default, the
+        historical bit-exact path) or ``"float32"`` (half the memory
+        bandwidth in every kernel; deterministic within the dtype but
+        not bit-comparable to float64 runs).  See ``docs/performance.md``.
     seed:
         Seed or generator for all randomised steps.
     """
@@ -122,6 +128,7 @@ class ProclusConfig:
     restart_timeout_s: Optional[float] = None
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    dtype: str = "float64"
     seed: SeedLike = None
     extra: dict = field(default_factory=dict)
 
@@ -150,6 +157,7 @@ class ProclusConfig:
         self.restart_timeout_s = check_time_budget(
             self.restart_timeout_s, name="restart_timeout_s")
         self.resume = bool(self.resume)
+        self.dtype = check_dtype(self.dtype)
         if self.checkpoint_dir is not None:
             self.checkpoint_dir = str(self.checkpoint_dir)
         if self.resume and self.checkpoint_dir is None:

@@ -37,6 +37,8 @@ import numpy as np
 
 from ..distance.base import Metric
 from ..distance.matrix import cross_distances, per_dimension_average_distance
+from ..distance.segmental import segmental_distances_to_point
+from ..dtypes import as_working, to_float64
 from ..exceptions import ParameterError
 from ..validation import check_array
 
@@ -121,9 +123,12 @@ def dimension_statistics(X: np.ndarray, medoids: np.ndarray,
 
     ``medoids`` is ``(k, d)``; ``localities[i]`` indexes into ``X``.
     """
-    X = np.asarray(X, dtype=np.float64)
-    medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
+    X = as_working(X)
+    medoids = np.atleast_2d(np.asarray(medoids, dtype=X.dtype))
     k, d = medoids.shape
+    # float64 rows for any working dtype — the statistics feed the
+    # Z-score ranking (see per_dimension_average_distance's
+    # accumulation policy) and at (k, d) they are tiny
     stats = np.empty((k, d), dtype=np.float64)
     for i in range(k):
         members = np.asarray(localities[i], dtype=np.intp)
@@ -142,7 +147,7 @@ def zscores(stats: np.ndarray) -> np.ndarray:
     Uses the paper's sample standard deviation (``ddof=1``).  Rows with
     zero deviation map to all-zero scores.
     """
-    stats = np.asarray(stats, dtype=np.float64)
+    stats = to_float64(stats)  # ranking domain: Z-scores are float64
     y = stats.mean(axis=1, keepdims=True)
     if stats.shape[1] < 2:
         raise ParameterError("Z-scores need at least 2 dimensions")
@@ -164,7 +169,7 @@ def allocate_dimensions(z: np.ndarray, total: int, *,
 
     Returns a list of sorted dimension tuples, one per row.
     """
-    z = np.asarray(z, dtype=np.float64)
+    z = to_float64(z)  # ranking domain: allocation sorts float64 scores
     k, d = z.shape
     if min_per_row > d:
         raise ParameterError(
@@ -276,8 +281,15 @@ def find_dimensions_from_clusters(X: np.ndarray, labels: np.ndarray,
         members = np.flatnonzero(labels == i)
         if members.size == 0:
             empty_rows.append(i)
-            # placeholder: nearest 2 points in full space
-            dist = np.abs(X - X[medoid_indices[i]]).sum(axis=1)
+            # placeholder: nearest 2 points in full space.  Routed
+            # through the budget-honouring segmental kernel (mean over
+            # all d dimensions = full Manhattan sum / d, and dividing
+            # by the same positive constant preserves the nearest-2
+            # ordering) instead of materialising an unbudgeted
+            # |X - medoid| temporary.
+            dist = segmental_distances_to_point(
+                X, X[medoid_indices[i]], np.arange(X.shape[1])
+            )
             dist[medoid_indices[i]] = np.inf
             members = np.argsort(dist, kind="stable")[:2]
         groups.append(members)

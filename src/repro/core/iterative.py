@@ -84,7 +84,12 @@ def find_bad_medoids(labels: np.ndarray, k: int, min_deviation: float) -> List[i
     """Positions (0..k-1) of the bad medoids for the current clustering."""
     labels = np.asarray(labels)
     n = labels.shape[0]
-    sizes = np.array([np.count_nonzero(labels == i) for i in range(k)])
+    # one O(N) bincount pass instead of k full label scans; outlier
+    # labels (-1) are filtered first so the counts match the historical
+    # per-cluster count_nonzero loop exactly
+    valid = labels[labels >= 0] if labels.size and int(labels.min()) < 0 else labels
+    sizes = np.bincount(valid.astype(np.intp, copy=False),
+                        minlength=k)[:k]
     threshold = (n / k) * min_deviation
     bad = set(np.flatnonzero(sizes < threshold).tolist())
     bad.add(int(np.argmin(sizes)))  # the smallest cluster is always bad

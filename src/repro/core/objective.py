@@ -76,8 +76,13 @@ def cluster_dispersions_and_sizes(
             dispersions[i] = 0.0
             continue
         sub = X[members][:, dims]
-        centroid = sub.mean(axis=0)
-        dispersions[i] = float(np.abs(sub - centroid).mean())
+        # the objective steers the hill climb's accept/reject decisions,
+        # so its long reductions accumulate in float64 for any working
+        # dtype (bit-identical for float64 input; for float32 the diffs
+        # stay float32 but the sums do not lose mass to cancellation)
+        centroid = sub.mean(axis=0, dtype=np.float64).astype(sub.dtype,
+                                                            copy=False)
+        dispersions[i] = float(np.abs(sub - centroid).mean(dtype=np.float64))
     return dispersions, sizes
 
 

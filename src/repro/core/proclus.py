@@ -32,8 +32,8 @@ from ..rng import SeedLike, ensure_rng, spawn
 from ..robustness.fallback import kmedoids_fallback, plan_degradation
 from ..robustness.guards import Deadline
 from ..robustness.sanitize import SanitizationReport, sanitize
-from ..validation import (check_array, check_max_retries, check_n_jobs,
-                          check_time_budget)
+from ..validation import (check_array, check_dtype, check_max_retries,
+                          check_n_jobs, check_time_budget)
 from .assignment import assign_points
 from .config import ProclusConfig
 from .initialization import initialize_medoid_pool
@@ -58,8 +58,14 @@ def _fit(X: np.ndarray, k: int, l: float, *,
          restart_timeout_s: Optional[float] = None,
          checkpoint_dir: Optional[str] = None,
          resume: bool = False,
-         profile: bool = False) -> ProclusResult:
-    """Fit on already-sanitized data (the body behind :func:`proclus`)."""
+         profile: bool = False,
+         dtype: str = "float64") -> ProclusResult:
+    """Fit on already-sanitized data (the body behind :func:`proclus`).
+
+    ``X`` arrives already converted to ``dtype`` by the public
+    boundary; the parameter is threaded so restart workers, checkpoint
+    fingerprints, and the validated config all agree on the precision.
+    """
     tracer = get_tracer()
     if restarts > 1:
         # Multi-restart runs execute under the fault-tolerant supervisor
@@ -84,6 +90,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
             keep_history=keep_history,
             fit_sample_size=fit_sample_size,
             exclude_dims=exclude_dims, cache=cache,
+            dtype=dtype,
         )
         checkpoint = None
         if checkpoint_dir is not None:
@@ -160,7 +167,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
                 handle_outliers=False, keep_history=keep_history,
                 restarts=1, fit_sample_size=None, seed=rng_fit,
                 deadline=deadline, exclude_dims=exclude_dims, notes=notes,
-                cache=cache, n_jobs=n_jobs,
+                cache=cache, n_jobs=n_jobs, dtype=dtype,
             )
         t_sample_fit = monotonic_s() - t0
         # refinement over the FULL database with the sample's medoids.
@@ -211,6 +218,7 @@ def _fit(X: np.ndarray, k: int, l: float, *,
         time_budget_s=deadline.budget_s if deadline is not None else None,
         cache=cache,
         n_jobs=n_jobs,
+        dtype=dtype,
         seed=seed,
     ).validated(X.shape[0], X.shape[1])
 
@@ -300,6 +308,7 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
             checkpoint_dir: Optional[str] = None,
             resume: bool = False,
             profile: bool = False,
+            dtype: str = "float64",
             seed: SeedLike = None) -> ProclusResult:
     """Run PROCLUS end-to-end and return a :class:`ProclusResult`.
 
@@ -409,6 +418,18 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
         winner's worker-side profile is embedded under
         ``result.profile["winner"]``.  Default off: the no-op tracer
         costs nothing measurable.
+    dtype:
+        Working dtype of the compute path: ``"float64"`` (default) or
+        ``"float32"``.  The input is converted **once** at this
+        boundary; every kernel downstream — segmental columns, cross
+        distances, the cache's stored columns, the shared-memory fan-out
+        — then computes natively in that dtype, halving bytes moved for
+        float32 (ranking statistics still accumulate in float64; see
+        ``docs/performance.md``).  ``"float64"`` runs are bit-identical
+        to the historical path; ``"float32"`` runs are deterministically
+        reproducible within the dtype but not bit-comparable across
+        dtypes (checkpoints record the dtype and refuse to resume a
+        run of the other precision).
 
     Other parameters are documented on
     :class:`~repro.core.config.ProclusConfig`.
@@ -419,6 +440,7 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
         raise ParameterError(f"restarts must be >= 1; got {restarts}")
     n_jobs = check_n_jobs(n_jobs)
     max_retries = check_max_retries(max_retries)
+    dtype = check_dtype(dtype)
     restart_timeout_s = check_time_budget(
         restart_timeout_s, name="restart_timeout_s")
     if resume and checkpoint_dir is None:
@@ -436,11 +458,14 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
                 X, report = sanitize(
                     X, on_bad_values=on_bad_values,
                     collapse_duplicates=collapse_duplicates, warn=False,
+                    dtype=dtype,
                 )
             notes.extend(report.messages)
             degraded = degraded or report.changed
         else:
-            X = check_array(X, name="X")
+            # the single sanctioned conversion point: everything below
+            # computes natively in the working dtype
+            X = check_array(X, name="X", dtype=np.dtype(dtype))
 
         use_kmedoids = False
         if auto_degrade:
@@ -479,7 +504,7 @@ def proclus(X: Union[np.ndarray, Dataset], k: int, l: float, *,
                     max_retries=max_retries,
                     restart_timeout_s=restart_timeout_s,
                     checkpoint_dir=checkpoint_dir, resume=resume,
-                    profile=profile,
+                    profile=profile, dtype=dtype,
                 )
             except (ParameterError, DataError) as exc:
                 if not auto_degrade:
@@ -541,6 +566,7 @@ class Proclus:
                  checkpoint_dir: Optional[str] = None,
                  resume: bool = False,
                  profile: bool = False,
+                 dtype: str = "float64",
                  seed: SeedLike = None) -> None:
         self.k = k
         self.l = l
@@ -566,6 +592,7 @@ class Proclus:
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
         self.profile = profile
+        self.dtype = dtype
         self.seed = seed
         self.result_: Optional[ProclusResult] = None
 
@@ -596,6 +623,7 @@ class Proclus:
             checkpoint_dir=self.checkpoint_dir,
             resume=self.resume,
             profile=self.profile,
+            dtype=self.dtype,
             seed=self.seed,
         )
         return self
@@ -609,7 +637,9 @@ class Proclus:
         result = self._fitted()
         if isinstance(X, Dataset):
             X = X.points
-        X = check_array(X, name="X")
+        # new points join the fitted precision so the assignment argmin
+        # compares like-rounded segmental distances
+        X = check_array(X, name="X", dtype=result.medoids.dtype)
         dim_sets = [result.dimensions[i] for i in range(result.k)]
         return assign_points(X, result.medoids, dim_sets)
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..data.dataset import OUTLIER_LABEL
 from ..exceptions import ParameterError
+from ..dtypes import as_working
 from ..obs import get_tracer
 from ..validation import check_array
 from .assignment import segmental_distance_matrix
@@ -59,12 +60,14 @@ def spheres_of_influence(medoids: np.ndarray,
     index juggling.  ``k == 1`` falls out naturally: the only entry is
     the masked diagonal, so the sphere is ``inf``.
     """
-    medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
+    medoids = np.atleast_2d(as_working(medoids))
     k = medoids.shape[0]
     if len(dim_sets) != k:
         raise ParameterError(
             f"{len(dim_sets)} dimension sets for {k} medoids")
-    med_dist = np.empty((k, k), dtype=np.float64)
+    # spheres stay in the working dtype so the outlier comparison pits
+    # like-rounded segmental means against the assignment columns
+    med_dist = np.empty((k, k), dtype=medoids.dtype)
     for i in range(k):
         dims = np.asarray(list(dim_sets[i]), dtype=np.intp)
         if dims.size == 0:

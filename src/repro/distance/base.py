@@ -13,6 +13,7 @@ from typing import Dict, Union
 
 import numpy as np
 
+from ..dtypes import as_working
 from ..exceptions import ParameterError
 
 __all__ = ["Metric", "register_metric", "get_metric", "available_metrics"]
@@ -35,8 +36,8 @@ class Metric(abc.ABC):
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> float:
         """Distance between two individual points."""
-        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
-        b = np.asarray(b, dtype=np.float64).ravel()
+        a = np.atleast_2d(as_working(a))
+        b = np.asarray(b, dtype=a.dtype).ravel()
         return float(self.pairwise_to_point(a, b)[0])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

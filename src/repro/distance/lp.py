@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import as_working
 from ..exceptions import ParameterError
 from .base import Metric, register_metric
 
@@ -80,19 +81,19 @@ _CHEBYSHEV = register_metric(ChebyshevDistance(), "linf", "linfinity")
 
 def manhattan(a, b) -> float:
     """Manhattan (L1) distance between two points."""
-    return _MANHATTAN(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+    return _MANHATTAN(as_working(a), as_working(b))
 
 
 def euclidean(a, b) -> float:
     """Euclidean (L2) distance between two points."""
-    return _EUCLIDEAN(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+    return _EUCLIDEAN(as_working(a), as_working(b))
 
 
 def chebyshev(a, b) -> float:
     """Chebyshev (L-infinity) distance between two points."""
-    return _CHEBYSHEV(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+    return _CHEBYSHEV(as_working(a), as_working(b))
 
 
 def lp_distance(a, b, p: float) -> float:
     """General Lp distance between two points for ``p >= 1``."""
-    return LpDistance(p)(np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64))
+    return LpDistance(p)(as_working(a), as_working(b))

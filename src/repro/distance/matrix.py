@@ -18,6 +18,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..dtypes import as_working, to_float64
 from ..obs import get_tracer
 from ..robustness.guards import resolve_row_chunk
 from .base import Metric, get_metric
@@ -33,10 +34,14 @@ MetricLike = Union[str, Metric]
 
 
 def distances_to_point(X: np.ndarray, p, metric: MetricLike = "euclidean") -> np.ndarray:
-    """Distances from every row of ``X`` (n, d) to a single point ``p``."""
+    """Distances from every row of ``X`` (n, d) to a single point ``p``.
+
+    Computes natively in ``X``'s working dtype (float32 stays float32);
+    non-float input is coerced to float64 (see :mod:`repro.dtypes`).
+    """
     m = get_metric(metric)
-    X = np.asarray(X, dtype=np.float64)
-    p = np.asarray(p, dtype=np.float64).ravel()
+    X = as_working(X)
+    p = np.asarray(p, dtype=X.dtype).ravel()
     return m.pairwise_to_point(X, p)
 
 
@@ -52,14 +57,20 @@ def cross_distances(X: np.ndarray, anchors: np.ndarray,
     are processed in chunks instead — same values, bounded peak memory.
     """
     m = get_metric(metric)
-    X = np.asarray(X, dtype=np.float64)
-    anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
+    X = as_working(X)
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=X.dtype))
     n = X.shape[0]
     tracer = get_tracer()
     if tracer.enabled:
         tracer.count("kernel.distance_rows", n * anchors.shape[0])
-    out = np.empty((n, anchors.shape[0]), dtype=np.float64)
-    chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes)
+        # bytes the kernel streams: the (n, d) block read once per
+        # anchor plus the (n, m) output written, in the working dtype
+        tracer.count("kernel.distance_bytes",
+                     n * anchors.shape[0] * (X.shape[1] + 1)
+                     * X.dtype.itemsize)
+    out = np.empty((n, anchors.shape[0]), dtype=X.dtype)
+    chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes,
+                              itemsize=X.dtype.itemsize)
     if chunk is None:
         for j, a in enumerate(anchors):
             out[:, j] = m.pairwise_to_point(X, a)
@@ -90,17 +101,18 @@ def pairwise_distances(X: np.ndarray, metric: MetricLike = "euclidean", *,
     to the serial loop's.
     """
     m = get_metric(metric)
-    X = np.asarray(X, dtype=np.float64)
+    X = as_working(X)
     n = X.shape[0]
-    out = np.empty((n, n), dtype=np.float64)
-    chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes)
+    out = np.empty((n, n), dtype=X.dtype)
+    chunk = resolve_row_chunk(n, X.shape[1], memory_budget_bytes,
+                              itemsize=X.dtype.itemsize)
 
     def fill_anchor(i: int) -> None:
         block = X[i:]
         if chunk is None:
             col = m.pairwise_to_point(block, X[i])
         else:
-            col = np.empty(n - i, dtype=np.float64)
+            col = np.empty(n - i, dtype=X.dtype)
             for start in range(0, block.shape[0], chunk):
                 col[start:start + chunk] = m.pairwise_to_point(
                     block[start:start + chunk], X[i]
@@ -136,13 +148,20 @@ def per_dimension_average_distance(X: np.ndarray, p,
     the mean of ``|x_j - p_j|`` over the points ``x`` in a locality (or
     cluster).  ``weights`` allows a weighted mean; an empty ``X`` raises
     ``ValueError`` — callers guard against empty localities explicitly.
+
+    Accumulation policy: the gather/diff runs in ``X``'s working dtype
+    (that's the bandwidth-bound part), but the mean over members
+    **accumulates in float64 and the result is float64** regardless of
+    the input dtype — these statistics feed the Z-score ranking whose
+    argsort decides dimension allocation, and a long float32 reduction
+    could flip that ranking between otherwise-identical runs.
     """
-    X = np.asarray(X, dtype=np.float64)
+    X = as_working(X)
     if X.ndim != 2 or X.shape[0] == 0:
         raise ValueError("per_dimension_average_distance needs a non-empty 2-D array")
-    p = np.asarray(p, dtype=np.float64).ravel()
+    p = np.asarray(p, dtype=X.dtype).ravel()
     diffs = np.abs(X - p)
     if weights is None:
-        return diffs.mean(axis=0)
-    weights = np.asarray(weights, dtype=np.float64)
-    return (diffs * weights[:, None]).sum(axis=0) / weights.sum()
+        return diffs.mean(axis=0, dtype=np.float64)
+    weights = to_float64(weights)
+    return (diffs * weights[:, None]).sum(axis=0, dtype=np.float64) / weights.sum()

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..dtypes import as_working
 from ..exceptions import ParameterError
 from ..robustness.guards import resolve_row_chunk
 from .base import Metric
@@ -45,8 +46,8 @@ def _as_dims(dims: Sequence[int]) -> np.ndarray:
 def segmental_distance(a, b, dims: Sequence[int]) -> float:
     """Segmental distance between two points relative to ``dims``."""
     d = _as_dims(dims)
-    a = np.asarray(a, dtype=np.float64).ravel()
-    b = np.asarray(b, dtype=np.float64).ravel()
+    a = as_working(a).ravel()
+    b = as_working(b).ravel()
     return float(np.abs(a[d] - b[d]).mean())
 
 
@@ -77,17 +78,22 @@ def segmental_distances_to_point(X: np.ndarray, p, dims: Sequence[int], *,
 
     Returns
     -------
-    numpy.ndarray of shape ``(n,)``.
+    numpy.ndarray of shape ``(n,)``, in ``X``'s working dtype.  The
+    per-row mean spans only ``|D| <= d`` entries (a short reduction, the
+    same rounding exposure for every row), so it runs natively in the
+    working dtype — values are compared against each other, never
+    against a float64 branch of the same quantity.
     """
     d = _as_dims(dims)
-    X = np.asarray(X, dtype=np.float64)
-    p = np.asarray(p, dtype=np.float64).ravel()
+    X = as_working(X)
+    p = np.asarray(p, dtype=X.dtype).ravel()
     target = p[d]
     n = X.shape[0]
-    chunk = resolve_row_chunk(n, d.size, memory_budget_bytes)
+    chunk = resolve_row_chunk(n, d.size, memory_budget_bytes,
+                              itemsize=X.dtype.itemsize)
     if n_jobs == 1 and chunk is None:
         return np.abs(X[:, d] - target).mean(axis=1)
-    out = np.empty(n, dtype=np.float64)
+    out = np.empty(n, dtype=X.dtype)
 
     def fill_rows(start: int, stop: int) -> None:
         out[start:stop] = np.abs(X[start:stop, d] - target).mean(axis=1)
@@ -109,7 +115,7 @@ def pairwise_segmental(X: np.ndarray, dims: Sequence[int]) -> np.ndarray:
     localities) the algorithms inspect, not whole databases.
     """
     d = _as_dims(dims)
-    sub = np.asarray(X, dtype=np.float64)[:, d]
+    sub = as_working(X)[:, d]
     return np.abs(sub[:, None, :] - sub[None, :, :]).mean(axis=2)
 
 

@@ -1,0 +1,100 @@
+"""The sanctioned dtype seam for the precision-aware compute path.
+
+The numeric core supports two *working dtypes*: ``float64`` (the
+default, bit-identical to the historical implementation) and ``float32``
+(opt-in via ``proclus(..., dtype="float32")`` — half the memory traffic
+on every bandwidth-bound kernel).  The contract is:
+
+* the public boundary (:func:`repro.validation.check_array` /
+  :func:`repro.robustness.sanitize.sanitize`) converts the input matrix
+  to the requested working dtype **once**;
+* every kernel downstream *preserves* the working dtype of the arrays
+  it receives — no silent up-casts back to float64 inside
+  ``core``/``perf``/``distance`` (lint rule RPR006 enforces this);
+* reductions whose rounding error would affect an argmin/ranking
+  decision accumulate in float64 regardless of the working dtype, and
+  route through :func:`to_float64` so the up-cast is explicit and
+  auditable.  The per-kernel accumulation policy is documented in
+  ``docs/performance.md``.
+
+This module is the only place allowed to spell the coercions out, which
+is why it lives *outside* the determinism-scoped directories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+from .exceptions import ParameterError
+
+__all__ = [
+    "WORKING_DTYPES",
+    "check_dtype",
+    "working_dtype",
+    "as_working",
+    "to_float64",
+]
+
+#: The dtypes the compute path runs natively in.  Anything else is
+#: coerced to float64 at the boundary (ints, lists, float16, ...).
+WORKING_DTYPES: Tuple[np.dtype, ...] = (np.dtype(np.float64),
+                                        np.dtype(np.float32))
+
+
+def check_dtype(value: Any, *, name: str = "dtype") -> str:
+    """Validate a user-facing dtype knob; returns ``"float64"``/``"float32"``.
+
+    Accepts dtype names, ``np.float32``/``np.float64``, ``np.dtype``
+    instances, or ``None`` (the float64 default).  Anything outside the
+    two working dtypes raises :class:`~repro.exceptions.ParameterError`
+    — the compute path is validated for these two only.
+    """
+    if value is None:
+        return "float64"
+    try:
+        dt = np.dtype(value)
+    except TypeError:
+        raise ParameterError(
+            f"{name} must be 'float64' or 'float32'; got {value!r}"
+        )
+    if dt not in WORKING_DTYPES:
+        raise ParameterError(
+            f"{name} must be 'float64' or 'float32'; got {dt.name!r}"
+        )
+    return str(dt.name)
+
+
+def working_dtype(X: Any) -> np.dtype:
+    """The working dtype an array-like maps to: itself if float32/float64,
+    else float64."""
+    dt = getattr(X, "dtype", None)
+    if dt is not None and dt in WORKING_DTYPES:
+        return np.dtype(dt)
+    return np.dtype(np.float64)
+
+
+def as_working(X: Any) -> np.ndarray:
+    """Coerce to a working-dtype array, preserving float32/float64 input.
+
+    A float32 or float64 ndarray passes through as-is (no copy); every
+    other input — lists, integer arrays, float16 — is coerced to
+    float64, exactly as the historical kernels did.  This is the
+    dtype-preserving replacement for ``np.asarray(X, dtype=np.float64)``
+    inside the numeric core.
+    """
+    return np.asarray(X, dtype=working_dtype(X))
+
+
+def to_float64(X: Any) -> np.ndarray:
+    """Explicit float64 up-cast for ranking/accumulation domains.
+
+    Some reductions feed order statistics (the Z-score ranking behind
+    dimension allocation, the hill climb's objective comparison) where
+    float32 rounding could flip an argmin between otherwise-identical
+    runs.  Those domains compute in float64 regardless of the working
+    dtype; this helper is their sanctioned seam, so the up-casts stay
+    greppable and RPR006-clean.
+    """
+    return np.asarray(X, dtype=np.float64)

@@ -199,7 +199,10 @@ class IterativeCache:
         self.bind(X)
         medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
         mkey = self._metric_key(metric)
-        out = np.empty((X.shape[0], medoid_indices.size), dtype=np.float64)
+        # columns are held (and the batch assembled) in X's working
+        # dtype; byte accounting via .nbytes means a float32 run fits
+        # about twice the columns in the same budget
+        out = np.empty((X.shape[0], medoid_indices.size), dtype=X.dtype)
         missing = []
         for j, row in enumerate(medoid_indices):
             col = self._distance.get((int(row), mkey))
@@ -238,7 +241,7 @@ class IterativeCache:
             (int(row), tuple(int(d) for d in dims))
             for row, dims in zip(medoid_indices, dim_sets)
         ]
-        out = np.empty((X.shape[0], medoid_indices.size), dtype=np.float64)
+        out = np.empty((X.shape[0], medoid_indices.size), dtype=X.dtype)
         missing = []
         for j, key in enumerate(keys):
             col = self._segmental.get(key)
@@ -294,6 +297,9 @@ class IterativeCache:
         medoid_indices = np.asarray(medoid_indices, dtype=np.intp)
         mkey = self._metric_key(metric)
         k = medoid_indices.size
+        # statistics rows are float64 for any working dtype: they feed
+        # the Z-score ranking (see per_dimension_average_distance's
+        # accumulation policy), and at (k, d) they are tiny
         stats = np.empty((k, X.shape[1]), dtype=np.float64)
         for i in range(k):
             row = int(medoid_indices[i])

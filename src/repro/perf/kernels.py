@@ -20,6 +20,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..dtypes import as_working
 from ..exceptions import ParameterError
 from ..obs import get_tracer
 from ..robustness.guards import resolve_row_chunk
@@ -64,9 +65,21 @@ def segmental_columns(X: np.ndarray, medoids: np.ndarray,
     ``(n, sum|D_i|)`` gather would exceed ``memory_budget_bytes`` (see
     :mod:`repro.robustness.guards`), rows are processed in chunks —
     identical values, bounded peak memory.
+
+    The kernel computes natively in ``X``'s working dtype (float32 in,
+    float32 out — the gather and ``np.add.reduceat`` move half the
+    bytes).  Accumulation policy: each reduceat segment spans only
+    ``|D_i| <= d`` entries, a short reduction with identical rounding
+    exposure in every column, so no float64 accumulator is needed —
+    the downstream argmin compares like against like.
+
+    A caller-provided ``out`` must have shape ``(n, k)`` and ``X``'s
+    working dtype; mismatches raise
+    :class:`~repro.exceptions.ParameterError` up front instead of a
+    cryptic broadcast/casting error from the in-place ``out /= counts``.
     """
-    X = np.asarray(X, dtype=np.float64)
-    medoids = np.atleast_2d(np.asarray(medoids, dtype=np.float64))
+    X = as_working(X)
+    medoids = np.atleast_2d(np.asarray(medoids, dtype=X.dtype))
     flat, starts, counts = build_dims_layout(dim_sets)
     k = counts.size
     if medoids.shape[0] != k:
@@ -80,9 +93,24 @@ def segmental_columns(X: np.ndarray, medoids: np.ndarray,
     tracer = get_tracer()
     if tracer.enabled:
         tracer.count("kernel.segmental_rows", n * k)
+        # bytes the kernel streams: the (n, sum|D_i|) gather + diff and
+        # the (n, k) output, in the working dtype
+        tracer.count("kernel.segmental_bytes",
+                     n * (flat.size + k) * X.dtype.itemsize)
     if out is None:
-        out = np.empty((n, k), dtype=np.float64)
-    chunk = resolve_row_chunk(n, flat.size, memory_budget_bytes)
+        out = np.empty((n, k), dtype=X.dtype)
+    else:
+        if out.shape != (n, k):
+            raise ParameterError(
+                f"out has shape {out.shape}; expected ({n}, {k})"
+            )
+        if out.dtype != X.dtype:
+            raise ParameterError(
+                f"out has dtype {out.dtype.name}; expected the working "
+                f"dtype {X.dtype.name}"
+            )
+    chunk = resolve_row_chunk(n, flat.size, memory_budget_bytes,
+                              itemsize=X.dtype.itemsize)
     step = max(1, n if chunk is None else chunk)
     for start in range(0, max(n, 1), step):
         block = X[start:start + step]

@@ -95,7 +95,7 @@ _ATTACHED: Dict[str, Tuple[object, np.ndarray]] = {}
 
 
 class SharedMatrix:
-    """A float64 matrix published once, attached read-only by workers.
+    """A matrix published once, attached read-only by workers.
 
     The parent calls :meth:`publish`, ships the small :attr:`descriptor`
     dict to each task, and :meth:`unlink`\\ s the segment when the
@@ -121,10 +121,16 @@ class SharedMatrix:
 
     @classmethod
     def publish(cls, X: np.ndarray) -> "SharedMatrix":
-        """Copy ``X`` into a fresh shared-memory segment."""
+        """Copy ``X`` into a fresh shared-memory segment.
+
+        The segment holds ``X`` in its own (sanitized working) dtype —
+        the descriptor carries the dtype string and workers attach with
+        it, so a float32 fan-out ships half the shared-memory bytes of
+        a float64 one.
+        """
         from multiprocessing import shared_memory
 
-        X = np.ascontiguousarray(X, dtype=np.float64)
+        X = np.ascontiguousarray(X)
         shm = shared_memory.SharedMemory(create=True, size=max(1, X.nbytes))
         view = np.ndarray(X.shape, dtype=X.dtype, buffer=shm.buf)
         view[...] = X

@@ -87,26 +87,33 @@ class Deadline:
             )
 
 
-def estimate_cross_distance_temp_bytes(n_rows: int, n_cols: int) -> int:
+def estimate_cross_distance_temp_bytes(n_rows: int, n_cols: int,
+                                       itemsize: int = 8) -> int:
     """Peak temporary bytes for one anchor pass over an ``(n, d)`` block.
 
     The Lp kernels allocate a diff array and its elementwise transform —
-    two float64 temporaries of the block's shape.
+    two temporaries of the block's shape in the working dtype
+    (``itemsize`` bytes per element; 8 for the float64 default, 4 when
+    the kernel runs in float32).
     """
-    return int(n_rows) * max(1, int(n_cols)) * 8 * 2
+    return int(n_rows) * max(1, int(n_cols)) * max(1, int(itemsize)) * 2
 
 
 def resolve_row_chunk(n_rows: int, n_cols: int,
-                      memory_budget_bytes: Optional[int] = None) -> Optional[int]:
+                      memory_budget_bytes: Optional[int] = None, *,
+                      itemsize: int = 8) -> Optional[int]:
     """Rows per chunk to keep distance temporaries under budget.
 
     Returns ``None`` when the whole block fits (the caller should use its
     unchunked fast path), otherwise the largest row count whose
     temporaries stay within ``memory_budget_bytes`` (at least 1).
+    ``itemsize`` is the working dtype's element size — a float32 kernel
+    (4-byte items) fits twice the rows of a float64 one in the same
+    budget.
     """
     budget = (DEFAULT_MEMORY_BUDGET_BYTES if memory_budget_bytes is None
               else int(memory_budget_bytes))
-    if estimate_cross_distance_temp_bytes(n_rows, n_cols) <= budget:
+    if estimate_cross_distance_temp_bytes(n_rows, n_cols, itemsize) <= budget:
         return None
-    per_row = estimate_cross_distance_temp_bytes(1, n_cols)
+    per_row = estimate_cross_distance_temp_bytes(1, n_cols, itemsize)
     return max(1, budget // per_row)

@@ -238,7 +238,8 @@ def _collapse_duplicates(X: np.ndarray, keep: np.ndarray,
 def sanitize(X, *, on_bad_values: str = "raise",
              collapse_duplicates: bool = False,
              detect_constant_dims: bool = True,
-             warn: bool = True) -> Tuple[np.ndarray, SanitizationReport]:
+             warn: bool = True,
+             dtype=None) -> Tuple[np.ndarray, SanitizationReport]:
     """Normalise a raw matrix into clean algorithm input.
 
     Parameters
@@ -256,11 +257,17 @@ def sanitize(X, *, on_bad_values: str = "raise",
     warn:
         Emit a :class:`~repro.exceptions.SanitizationWarning` per
         modification in addition to recording it on the report.
+    dtype:
+        Target dtype of the sanitized matrix (``"float64"`` or
+        ``"float32"``).  ``None`` (default) preserves a working float
+        dtype and coerces everything else to float64, matching
+        :func:`~repro.validation.check_array`.
 
     Returns
     -------
     (numpy.ndarray, SanitizationReport)
-        The sanitized C-contiguous float64 matrix and the report.
+        The sanitized C-contiguous float matrix (in the working dtype)
+        and the report.
 
     Raises
     ------
@@ -278,7 +285,8 @@ def sanitize(X, *, on_bad_values: str = "raise",
             f"on_bad_values must be one of {BAD_VALUE_POLICIES}; "
             f"got {on_bad_values!r}"
         )
-    X = check_array(X, name="X", allow_nonfinite=True)
+    X = check_array(X, name="X", allow_nonfinite=True,
+                    dtype=None if dtype is None else np.dtype(dtype))
     n_rows, n_cols = X.shape
     report = SanitizationReport(
         n_rows=n_rows, n_cols=n_cols, policy=on_bad_values,

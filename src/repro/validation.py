@@ -13,10 +13,12 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from .dtypes import as_working, check_dtype  # noqa: F401 - re-exported
 from .exceptions import DataError, ParameterError
 
 __all__ = [
     "check_array",
+    "check_dtype",
     "check_positive_int",
     "check_fraction",
     "check_k_l",
@@ -29,7 +31,7 @@ __all__ = [
 
 
 def check_array(X, *, name: str = "X", min_rows: int = 1, min_cols: int = 1,
-                allow_1d: bool = False, dtype=np.float64,
+                allow_1d: bool = False, dtype=None,
                 allow_nonfinite: bool = False) -> np.ndarray:
     """Coerce ``X`` to a 2-D float array and validate its contents.
 
@@ -45,7 +47,12 @@ def check_array(X, *, name: str = "X", min_rows: int = 1, min_cols: int = 1,
     allow_1d:
         Accept a single point given as a 1-D sequence.
     dtype:
-        Target dtype (default float64).
+        Target dtype.  ``None`` (default) preserves a float32/float64
+        input's *working dtype* and coerces everything else (lists,
+        integer arrays, float16, ...) to float64 — see
+        :mod:`repro.dtypes`.  Pass an explicit dtype to force a
+        conversion (the public ``proclus(..., dtype=...)`` boundary
+        does this once; internal call sites preserve).
     allow_nonfinite:
         Skip the NaN/inf content check.  Used by the sanitization
         pipeline (:mod:`repro.robustness`), which needs the shape checks
@@ -54,14 +61,14 @@ def check_array(X, *, name: str = "X", min_rows: int = 1, min_cols: int = 1,
     Returns
     -------
     numpy.ndarray
-        A C-contiguous 2-D array of ``dtype``.
+        A C-contiguous 2-D array of the resolved dtype.
 
     Raises
     ------
     DataError
         If the array is empty, has the wrong rank, or contains NaN/inf.
     """
-    arr = np.asarray(X, dtype=dtype)
+    arr = as_working(X) if dtype is None else np.asarray(X, dtype=dtype)
     if arr.ndim == 1:
         if not allow_1d:
             raise DataError(

@@ -1,0 +1,21 @@
+"""Lint fixture: dtype-destroying float64 coercions inside a core/ module."""
+
+import numpy as np
+
+
+def widen_everything(X, medoids):
+    a = np.asarray(X, dtype=np.float64)          # flagged: kwarg np.float64
+    b = np.array(X, dtype="float64")             # flagged: string dtype
+    c = np.ascontiguousarray(X, dtype=np.double) # flagged: double alias
+    d = np.asarray(medoids, np.float64)          # flagged: positional dtype
+    e = X.astype(np.float64)                     # flagged: astype re-widen
+    return a, b, c, d, e
+
+
+def legal_patterns(X, weights):
+    buf = np.empty(X.shape, dtype=np.float64)    # allowed: fresh buffer
+    idx = np.asarray(weights, dtype=np.intp)     # allowed: non-float64 target
+    kept = np.asarray(X)                         # allowed: no dtype rewrite
+    total = X.mean(axis=0, dtype=np.float64)     # allowed: accumulator dtype
+    back = total.astype(X.dtype, copy=False)     # allowed: working dtype
+    return buf, idx, kept, total, back

@@ -1,6 +1,6 @@
 """Tests for the determinism & contract lint engine (repro.analysis).
 
-Covers: one seeded-violation fixture per rule RPR001-RPR005, clean-file
+Covers: one seeded-violation fixture per rule RPR001-RPR006, clean-file
 negatives, ``# repr: noqa`` suppression, JSON output schema, CLI exit
 codes, and the self-check that the repository's own source tree is
 finding-free (the gate CI enforces).
@@ -90,6 +90,45 @@ def test_rpr004_flags_annotations_and_builtin_raise():
     assert "_private_helper" not in messages
 
 
+def test_rpr006_flags_every_float64_coercion_flavour():
+    findings = lint_file(FIXTURES / "core" / "rpr006_dtype.py",
+                         select=["RPR006"])
+    messages = "\n".join(f.message for f in findings)
+    assert len(findings) == 5
+    assert "asarray" in messages
+    assert "array" in messages
+    assert "ascontiguousarray" in messages
+    assert ".astype(float64)" in messages
+    assert all(f.rule == "RPR006" and f.severity == "error"
+               for f in findings)
+    # the legal patterns block contributes nothing
+    assert all(f.line <= 12 for f in findings)
+
+
+def test_rpr006_is_scoped_to_core_perf_distance():
+    src = (FIXTURES / "core" / "rpr006_dtype.py").read_text()
+    assert lint_source(src, "somewhere/else/module.py",
+                       select=["RPR006"]) == []
+
+
+def test_rpr006_ignores_buffer_creation_and_accumulator_dtypes():
+    src = ("import numpy as np\n"
+           "def f(X):\n"
+           "    buf = np.zeros(3, dtype=np.float64)\n"
+           "    acc = X.sum(axis=0, dtype=np.float64)\n"
+           "    return buf, acc\n")
+    assert lint_source(src, "repro/core/mod.py", select=["RPR006"]) == []
+
+
+def test_rpr006_resolves_import_aliases():
+    src = ("import numpy\n"
+           "def f(X):\n"
+           "    return numpy.asarray(X, dtype=numpy.float64)\n")
+    findings = lint_source(src, "repro/distance/mod.py", select=["RPR006"])
+    assert len(findings) == 1
+    assert findings[0].rule == "RPR006"
+
+
 def test_rpr005_flags_lambda_nested_and_undeclared_worker_types():
     findings = lint_file(FIXTURES / "rpr005_pool.py", select=["RPR005"])
     messages = "\n".join(f.message for f in findings)
@@ -168,9 +207,10 @@ def test_syntax_error_fails_the_gate():
         lint_source("def broken(:\n", "mod.py")
 
 
-def test_registry_lists_all_five_rules():
-    assert rule_ids() == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
-    assert len(ALL_RULES) == 5
+def test_registry_lists_all_six_rules():
+    assert rule_ids() == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                          "RPR006"]
+    assert len(ALL_RULES) == 6
 
 
 def test_contract_table_matches_real_cache_methods():
