@@ -20,6 +20,15 @@ RPR005    ``multiprocessing`` targets are module-level functions taking
 RPR006    no float64 re-coercions of arrays inside ``core/``, ``perf/``,
           ``distance/`` — the working dtype chosen at the API boundary
           is preserved (seams: :mod:`repro.dtypes`)
+RPR007    values cached by ``IterativeCache`` come only from
+          (transitively) pure producers: no argument mutation, no
+          mutable module-global reads outside the declared allowlist
+          (interprocedural: :mod:`repro.analysis.dataflow`)
+RPR008    ``SharedMatrix``-published buffers are write-protected at
+          publish time and never mutated afterwards, through any call
+          chain
+RPR009    suppression hygiene — ``# repr: noqa`` directives that no
+          longer suppress anything are themselves findings
 ========  =============================================================
 
 Entry points: ``proclus lint`` (CLI), ``python -m repro.analysis``, or

@@ -29,7 +29,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="findings as human-readable lines or a JSON document")
     parser.add_argument(
         "--select", nargs="+", default=None, metavar="RPRxxx",
-        help="restrict checking to these rule ids (default: all)")
+        help="restrict reporting to these rule ids, space- or "
+             "comma-separated (default: all); unknown ids exit 2")
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -47,7 +48,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="determinism & contract lint for the PROCLUS "
-                    "reproduction (rules RPR001-RPR006)",
+                    "reproduction (rules RPR001-RPR009)",
     )
     add_lint_arguments(parser)
     try:

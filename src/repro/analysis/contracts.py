@@ -22,6 +22,11 @@ __all__ = [
     "ALLOWED_NP_RANDOM_ATTRS",
     "WALL_CLOCK_CALLS",
     "DURATION_CLOCK_CALLS",
+    "MUTATING_CALLS",
+    "ARRAY_MUTATING_METHODS",
+    "DECLARED_OUT_PARAMS",
+    "PURITY_GLOBAL_ALLOWLIST",
+    "SHARED_PUBLISH_METHODS",
 ]
 
 
@@ -115,6 +120,69 @@ WALL_CLOCK_CALLS: FrozenSet[str] = frozenset({
     "os.urandom", "os.getrandom",
     "uuid.uuid1", "uuid.uuid4",
 })
+
+# --- interprocedural purity & escape contracts (RPR007 / RPR008) -----
+
+#: Qualified call names known to mutate specific *positional* arguments
+#: (0-indexed).  The dataflow pass treats every other unresolvable call
+#: as pure in its arguments — a documented precision choice that keeps
+#: findings actionable — so the in-place numpy surface must be named
+#: here explicitly.
+MUTATING_CALLS: Dict[str, Tuple[int, ...]] = {
+    "numpy.copyto": (0,),
+    "numpy.put": (0,),
+    "numpy.put_along_axis": (0,),
+    "numpy.place": (0,),
+    "numpy.putmask": (0,),
+    "numpy.fill_diagonal": (0,),
+    "numpy.random.shuffle": (0,),
+    # ufunc.at (numpy.add.at, numpy.maximum.at, ...) is recognised
+    # generically by the effects pass; listed entries take precedence.
+}
+
+#: Method names that mutate their receiver in place when the receiver's
+#: type is unknown to the symbol table (ndarray and the stdlib
+#: containers).  ``x.sort()`` on a parameter makes the function impure
+#: in that argument.
+ARRAY_MUTATING_METHODS: FrozenSet[str] = frozenset({
+    # ndarray
+    "sort", "fill", "partition", "put", "itemset", "resize", "setfield",
+    # list / dict / set — mutating a container argument is equally impure
+    "append", "extend", "insert", "remove", "clear", "update",
+    "setdefault", "popitem", "add", "discard", "move_to_end",
+})
+
+#: Sanctioned explicit-output parameters: writing through these does
+#: not convict the function (the write is its documented contract), but
+#: an argument a *caller* passes into one is still recorded as mutated
+#: at the call site.  Keys are ``name`` / ``Class.method`` suffixes.
+DECLARED_OUT_PARAMS: Dict[str, Tuple[str, ...]] = {
+    # the vectorised segmental kernel writes the caller's buffer by
+    # design; cached call sites never pass ``out`` (test-enforced via
+    # RPR007: a cached call site passing ``out`` would convict)
+    "segmental_columns": ("out",),
+}
+
+#: Mutable module globals cached kernels may read (RPR007).  Entries
+#: are bare names (any module) or dotted ``module.name`` suffixes.
+#: ``ALL_CAPS`` module constants are exempt by convention and need no
+#: entry.  Every entry is a reviewed statement that the global cannot
+#: skew a cached value:
+PURITY_GLOBAL_ALLOWLIST: FrozenSet[str] = frozenset({
+    # the observability seam: kernels read the installed tracer to
+    # emit counters.  Tracing is proven side-effect-free on results by
+    # the bit-identity suite (traced == untraced), and the default is
+    # the module-level NullTracer.
+    "repro.obs.tracer._current_tracer",
+})
+
+#: Classes whose named method publishes a buffer into shared memory
+#: (RPR008): the method must write-protect the shared view before
+#: returning, and call sites must never mutate the published source
+#: array afterwards.
+SHARED_PUBLISH_METHODS: Dict[str, str] = {
+    "SharedMatrix": "publish",
+}
 
 #: Duration clocks RPR002 also flags in the scoped directories — not
 #: because durations break bit-identity (they never feed result values),

@@ -1,0 +1,67 @@
+"""Interprocedural dataflow core for the static-analysis gate.
+
+Layered bottom-up (each layer consumes only the one below):
+
+``symbols``
+    project-wide symbol table: every linted module, its functions,
+    classes/methods, imports (relative imports resolved, re-export
+    chains followed), and module-level globals;
+``effects``
+    per-function *direct* facts: mutation events, view aliases, call
+    sites with caller-name → callee-parameter bindings, mutable
+    module-global reads;
+``fixpoint``
+    monotone closure of the direct facts over the call graph into
+    transitive :class:`~repro.analysis.dataflow.fixpoint.Summary`
+    objects (order-independent least fixpoint);
+``project``
+    the lazy facade (:class:`Project`) the lint engine hands to
+    project-aware rules (RPR007, RPR008).
+
+See ``docs/static_analysis.md`` for the architecture walk-through and
+the documented precision limits.
+"""
+
+from __future__ import annotations
+
+from .effects import (
+    CallSite,
+    FunctionFacts,
+    MutationEvent,
+    build_facts,
+    expand_names,
+    local_bindings,
+)
+from .fixpoint import (
+    Summary,
+    compute_summaries,
+    describe_impurity,
+    global_read_allowed,
+)
+from .project import Project
+from .symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    display_module,
+    module_name_for,
+)
+
+__all__ = [
+    "CallSite",
+    "FunctionFacts",
+    "FunctionInfo",
+    "ModuleInfo",
+    "MutationEvent",
+    "Project",
+    "Summary",
+    "SymbolTable",
+    "build_facts",
+    "compute_summaries",
+    "describe_impurity",
+    "display_module",
+    "expand_names",
+    "global_read_allowed",
+    "local_bindings",
+    "module_name_for",
+]

@@ -1,0 +1,500 @@
+"""Per-function effect summaries: mutation, aliasing, global reads.
+
+For every function the :class:`~repro.analysis.dataflow.symbols.SymbolTable`
+knows, this module extracts the *direct* facts the purity fixpoint
+consumes:
+
+* **mutation events** — statements that write through a name: subscript
+  assignment (``x[...] = v``), in-place operators (``x += v``,
+  ``x[...] *= v``), attribute writes (``x.attr = v``), ``del x[...]``,
+  calls to known-mutating numpy APIs (``np.copyto``, ``ufunc.at``, …),
+  in-place ndarray/container methods (``x.sort()``), and ``out=``
+  arguments;
+* **aliases** — names derived from other names through view-preserving
+  expressions (``y = x``, ``y = x.T``, ``y = np.asarray(x)``), so a
+  mutation through the alias is attributed to the original;
+* **module-global reads** — loads of names bound at module level by
+  assignment.  ``ALL_CAPS`` names are treated as constants by
+  convention and exempt; everything else is mutable module state the
+  purity rule polices against
+  :data:`repro.analysis.contracts.PURITY_GLOBAL_ALLOWLIST`;
+* **call sites** — every call, resolved through the symbol table where
+  possible, with the caller-name → callee-parameter binding the
+  fixpoint propagates effects through.
+
+Known precision limits (documented, deliberate): subscript *reads* do
+not alias (``row = X[i]`` then mutating ``row`` is invisible), and
+calls on receivers of unknown type are assumed pure unless they appear
+in the known-mutating tables.  Both trade soundness at the margin for
+a finding list that stays actionable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..contracts import (
+    ARRAY_MUTATING_METHODS,
+    DECLARED_OUT_PARAMS,
+    MUTATING_CALLS,
+)
+from .symbols import FuncNode, FunctionInfo, ModuleInfo, SymbolTable
+
+__all__ = [
+    "CallSite",
+    "MutationEvent",
+    "FunctionFacts",
+    "build_facts",
+    "local_bindings",
+    "expand_names",
+    "is_constant_name",
+]
+
+#: Call roots that return a view of (or pass through) their first
+#: argument — assigning their result creates an alias.
+_VIEW_CALLS = frozenset({
+    "numpy.asarray", "numpy.ascontiguousarray", "numpy.asfortranarray",
+    "numpy.atleast_1d", "numpy.atleast_2d", "numpy.atleast_3d",
+    "numpy.ravel", "numpy.reshape", "numpy.transpose",
+    "numpy.broadcast_to", "numpy.squeeze",
+})
+
+#: Method names returning views of their receiver.
+_VIEW_METHODS = frozenset({"reshape", "view", "ravel", "transpose", "squeeze"})
+
+
+def is_constant_name(name: str) -> bool:
+    """True for ``ALL_CAPS`` module-level names (constants by convention)."""
+    bare = name.lstrip("_")
+    return bool(bare) and bare == bare.upper() and any(
+        c.isalpha() for c in bare)
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One statement that writes through ``names`` (pre-alias bases)."""
+
+    node: ast.AST
+    names: Tuple[str, ...]
+    kind: str = "write"       #: ``write`` or ``protect`` (writeable=False)
+    via: str = ""             #: human label (``out=``, ``np.copyto``, …)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, with effect-propagation bindings."""
+
+    node: ast.Call
+    callee: Optional[str]                       #: resolved qualname or None
+    #: (caller local name, callee parameter name) for plain-Name args
+    bindings: Tuple[Tuple[str, str], ...]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class FunctionFacts:
+    """Direct (intraprocedural) effects of one function."""
+
+    info: FunctionInfo
+    mutations: List[MutationEvent] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    #: name -> immediate source names it aliases (view-deriving exprs)
+    derived_from: Dict[str, Set[str]] = field(default_factory=dict)
+    global_reads: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def alias_roots(self, name: str) -> Set[str]:
+        """``name`` plus everything it transitively derives from."""
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            cur = frontier.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(self.derived_from.get(cur, ()))
+        return seen
+
+    def aliases_of(self, seeds: Set[str]) -> Set[str]:
+        """All names whose transitive sources intersect ``seeds``."""
+        out = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for name, sources in self.derived_from.items():
+                if name not in out and sources & out:
+                    out.add(name)
+                    changed = True
+        return out
+
+    def mutated_params(self) -> FrozenSet[str]:
+        """Parameters written through, directly or via an alias."""
+        params = set(self.info.params)
+        hit: Set[str] = set()
+        for event in self.mutations:
+            if event.kind != "write":
+                continue
+            for name in event.names:
+                hit |= self.alias_roots(name) & params
+        return frozenset(hit)
+
+
+# ----------------------------------------------------------------------
+# helpers shared with the value-flow side of RPR007
+# ----------------------------------------------------------------------
+
+def local_bindings(func: FuncNode) -> Dict[str, Set[str]]:
+    """Map each locally bound name to the names its value derives from."""
+    out: Dict[str, Set[str]] = {}
+
+    def bind(target: ast.expr, source_names: Set[str]) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                out.setdefault(node.id, set()).update(source_names)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind(target, _names_in(node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            bind(node.target, _names_in(node.value))
+        elif isinstance(node, ast.AugAssign):
+            bind(node.target, _names_in(node.value))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target, _names_in(node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                bind(comp.target, _names_in(comp.iter))
+    return out
+
+
+def expand_names(names: Set[str], bindings: Dict[str, Set[str]]) -> Set[str]:
+    """Transitive closure of ``names`` through local assignments."""
+    seen: Set[str] = set()
+    frontier = list(names)
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(bindings.get(name, ()))
+    return seen
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """The root ``Name`` of a Name/Attribute/Subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _attr_chain(node: ast.AST) -> Tuple[str, ...]:
+    """Attribute names along a chain, innermost first."""
+    attrs: List[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+        node = node.value
+    return tuple(reversed(attrs))
+
+
+def _is_write_protect(node: ast.Assign) -> bool:
+    """``x.flags.writeable = False`` — protection, not data mutation."""
+    if len(node.targets) != 1:
+        return False
+    target = node.targets[0]
+    chain = _attr_chain(target)
+    value_false = (isinstance(node.value, ast.Constant)
+                   and node.value.value is False)
+    return chain[-2:] == ("flags", "writeable") and value_false
+
+
+def _is_setflags_protect(call: ast.Call) -> bool:
+    """``x.setflags(write=False)``."""
+    if not (isinstance(call.func, ast.Attribute)
+            and call.func.attr == "setflags"):
+        return False
+    for kw in call.keywords:
+        if kw.arg == "write" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+
+class _FactsBuilder:
+    def __init__(self, info: FunctionInfo, module: ModuleInfo,
+                 symtab: SymbolTable) -> None:
+        self.info = info
+        self.module = module
+        self.symtab = symtab
+        self.facts = FunctionFacts(info=info)
+        self._local_stores: Set[str] = set(info.params)
+
+    # -- resolution ----------------------------------------------------
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def _qualify(self, node: ast.AST) -> Optional[str]:
+        """Absolute dotted name of an expression, through imports."""
+        dotted = self._dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self.module.imports.get(head, head)
+        return f"{base}.{rest}" if rest else base
+
+    def _resolve_callee(self, call: ast.Call) -> Optional[FunctionInfo]:
+        func = call.func
+        # self.method() / cls.method() inside a class
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and self.info.class_name is not None):
+            methods = self.module.classes.get(self.info.class_name, {})
+            return methods.get(func.attr)
+        # plain name: same-module function, else imported
+        if isinstance(func, ast.Name):
+            local = self.module.functions.get(func.id)
+            if local is not None:
+                return local
+            if func.id in self.module.classes:
+                return self.module.classes[func.id].get("__init__")
+            target = self.module.imports.get(func.id)
+            if target is not None:
+                return self.symtab.resolve_function(target)
+            return None
+        # dotted: mod.func, Class.method, pkg.mod.Class.method, ...
+        qualified = self._qualify(func)
+        if qualified is not None:
+            return self.symtab.resolve_function(qualified)
+        return None
+
+    # -- recording -----------------------------------------------------
+    def _record_mutation(self, node: ast.AST, base: Optional[str],
+                         kind: str = "write", via: str = "") -> None:
+        if base is not None:
+            self.facts.mutations.append(
+                MutationEvent(node=node, names=(base,), kind=kind, via=via))
+
+    def _record_call(self, call: ast.Call) -> None:
+        callee = self._resolve_callee(call)
+        bindings: List[Tuple[str, str]] = []
+        if callee is not None:
+            positional = callee.positional_params
+            for i, arg in enumerate(call.args):
+                if isinstance(arg, ast.Starred):
+                    break
+                if i < len(positional) and isinstance(arg, ast.Name):
+                    bindings.append((arg.id, positional[i]))
+            for kw in call.keywords:
+                if (kw.arg is not None and kw.arg in callee.params
+                        and isinstance(kw.value, ast.Name)):
+                    bindings.append((kw.value.id, kw.arg))
+        self.facts.calls.append(CallSite(
+            node=call,
+            callee=callee.qualname if callee is not None else None,
+            bindings=tuple(bindings),
+        ))
+        self._record_call_mutations(call, callee)
+
+    def _record_call_mutations(self, call: ast.Call,
+                               callee: Optional[FunctionInfo]) -> None:
+        # out= arguments are written by any well-behaved numpy callable
+        for kw in call.keywords:
+            if kw.arg == "out":
+                values = (kw.value.elts
+                          if isinstance(kw.value, ast.Tuple)
+                          else [kw.value])
+                for value in values:
+                    self._record_mutation(call, _base_name(value), via="out=")
+        if _is_setflags_protect(call):
+            self._record_mutation(
+                call, _base_name(call.func), kind="protect", via="setflags")
+            return
+        qualified = self._qualify(call.func)
+        if qualified is not None:
+            mutated = MUTATING_CALLS.get(qualified)
+            if mutated is None and (qualified.startswith("numpy.")
+                                    and qualified.endswith(".at")):
+                mutated = (0,)  # ufunc.at(a, indices, b): in-place on a
+            if mutated:
+                for index in mutated:
+                    if index < len(call.args):
+                        self._record_mutation(
+                            call, _base_name(call.args[index]), via=qualified)
+        # x.sort() and friends: in-place methods on a known receiver
+        if (isinstance(call.func, ast.Attribute)
+                and call.func.attr in ARRAY_MUTATING_METHODS
+                and callee is None):
+            self._record_mutation(
+                call, _base_name(call.func.value),
+                via=f".{call.func.attr}()")
+
+    # -- walk ----------------------------------------------------------
+    def build(self) -> FunctionFacts:
+        node = self.info.node
+        for stmt in ast.walk(node):
+            self._visit(stmt)
+        self._collect_aliases(node)
+        self._collect_global_reads(node)
+        return self.facts
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            if _is_write_protect(node):
+                self._record_mutation(
+                    node, _base_name(node.targets[0]), kind="protect",
+                    via="flags.writeable")
+                return
+            for target in node.targets:
+                self._visit_target(node, target)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._visit_target(node, node.target)
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record_mutation(node, _base_name(target),
+                                      via="augmented assignment")
+            elif isinstance(target, ast.Name):
+                # ``x += v`` rebinding is only a mutation when x is (or
+                # aliases) a parameter — numpy makes it in-place
+                self._record_mutation(node, target.id,
+                                      via="augmented assignment")
+                self._local_stores.add(target.id)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    self._record_mutation(node, _base_name(target), via="del")
+        elif isinstance(node, ast.Call):
+            self._record_call(node)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            self._local_stores.add(node.id)
+
+    def _visit_target(self, stmt: ast.AST, target: ast.expr) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            kind = "subscript" if isinstance(target, ast.Subscript) else "attribute"
+            self._record_mutation(stmt, _base_name(target),
+                                  via=f"{kind} assignment")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._visit_target(stmt, elt)
+        elif isinstance(target, ast.Name):
+            self._local_stores.add(target.id)
+
+    def _collect_aliases(self, func: FuncNode) -> None:
+        derived = self.facts.derived_from
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            sources = self._alias_sources(node.value)
+            if not sources:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    derived.setdefault(target.id, set()).update(sources)
+
+    def _alias_sources(self, value: ast.expr) -> Set[str]:
+        """Names ``value`` is a view of / passes through, if any."""
+        if isinstance(value, ast.Name):
+            return {value.id}
+        if isinstance(value, ast.Attribute) and value.attr == "T":
+            base = _base_name(value)
+            return {base} if base else set()
+        if isinstance(value, ast.Call):
+            qualified = self._qualify(value.func)
+            if qualified in _VIEW_CALLS and value.args:
+                return self._alias_sources(value.args[0])
+            if (isinstance(value.func, ast.Attribute)
+                    and value.func.attr in _VIEW_METHODS):
+                base = _base_name(value.func.value)
+                return {base} if base else set()
+        return set()
+
+    def _collect_global_reads(self, func: FuncNode) -> None:
+        module_globals = {
+            name for name in self.module.global_names
+            if not is_constant_name(name)
+        }
+        if not module_globals:
+            return
+        stored = set(self._local_stores)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                stored -= set(node.names)
+        # annotations are never executed (PEP 563 is in force repo-wide):
+        # a type-alias name in a signature is not a state read
+        skip: Set[int] = set()
+        for node in ast.walk(func):
+            anno_roots: List[Optional[ast.AST]] = []
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for param in (list(args.posonlyargs) + list(args.args)
+                              + list(args.kwonlyargs)
+                              + [args.vararg, args.kwarg]):
+                    if param is not None:
+                        anno_roots.append(param.annotation)
+                anno_roots.append(node.returns)
+            elif isinstance(node, ast.AnnAssign):
+                anno_roots.append(node.annotation)
+            for root in anno_roots:
+                if root is not None:
+                    skip.update(id(sub) for sub in ast.walk(root))
+        reads: Set[Tuple[str, str]] = set()
+        for node in ast.walk(func):
+            if id(node) in skip:
+                continue
+            if (isinstance(node, ast.Name)
+                    and node.id in module_globals
+                    and node.id not in stored):
+                reads.add((self.module.name, node.id))
+            elif isinstance(node, ast.Global):
+                for name in node.names:
+                    if name in module_globals:
+                        reads.add((self.module.name, name))
+        self.facts.global_reads = frozenset(reads)
+
+
+def build_facts(symtab: SymbolTable) -> Dict[str, FunctionFacts]:
+    """Direct effect facts for every function in the project."""
+    out: Dict[str, FunctionFacts] = {}
+    for info in symtab.functions():
+        module = symtab.modules[info.module]
+        out[info.qualname] = _FactsBuilder(info, module, symtab).build()
+    return out
+
+
+def declared_out_params(info: FunctionInfo) -> FrozenSet[str]:
+    """Sanctioned explicit-output parameters of ``info`` (contracts)."""
+    for suffix, params in DECLARED_OUT_PARAMS.items():
+        target = f"{info.class_name}.{info.name}" if info.class_name else info.name
+        if target == suffix or info.display.endswith("." + suffix):
+            return frozenset(params)
+    return frozenset()
+
+
+def iter_mutation_events(facts: FunctionFacts) -> Iterator[MutationEvent]:
+    """All data-writing events of ``facts`` (protections excluded)."""
+    for event in facts.mutations:
+        if event.kind == "write":
+            yield event

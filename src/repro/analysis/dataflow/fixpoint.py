@@ -1,0 +1,151 @@
+"""Transitive purity/escape fixpoint over the project call graph.
+
+Direct facts (:mod:`~repro.analysis.dataflow.effects`) only see one
+function body; purity is a *whole-program* property: a kernel that
+itself writes nothing is still impure if a helper three calls down
+mutates the array it was handed, or reads mutable module state.  This
+module closes the direct facts over the call graph:
+
+* a callee that (transitively) mutates parameter ``p`` makes every
+  caller that binds name ``n`` to ``p`` a mutator of whatever ``n``
+  aliases — including the caller's own parameters;
+* global reads union upward through every resolved call edge;
+* parameters declared in
+  :data:`repro.analysis.contracts.DECLARED_OUT_PARAMS` are sanctioned
+  explicit outputs: writing them does not convict the callee, but an
+  argument *passed* to one is still recorded as mutated at the caller.
+
+The transfer functions are monotone unions over finite sets, so the
+iteration converges to the unique least fixpoint regardless of the
+order functions or call edges are visited — a property the test suite
+checks by shuffling traversal order (hypothesis) and asserting
+identical summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from .effects import FunctionFacts, declared_out_params
+from .symbols import display_module
+
+__all__ = ["Summary", "compute_summaries", "describe_impurity",
+           "global_read_allowed"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Transitive effect summary of one function."""
+
+    #: parameters whose referent may be written during a call
+    #: (directly, via an alias, or by any transitive callee)
+    mutated: FrozenSet[str] = frozenset()
+    #: ``(module, name)`` mutable module globals read anywhere below
+    global_reads: FrozenSet[Tuple[str, str]] = frozenset()
+    #: declared explicit-output parameters (sanctioned writes)
+    out_writes: FrozenSet[str] = frozenset()
+
+    @property
+    def impure_params(self) -> FrozenSet[str]:
+        """Mutated parameters that are not sanctioned outputs."""
+        return self.mutated - self.out_writes
+
+
+def compute_summaries(
+        facts: Dict[str, FunctionFacts],
+        order: Optional[Sequence[str]] = None) -> Dict[str, Summary]:
+    """Close direct facts over the call graph to transitive summaries.
+
+    ``order`` (any permutation of the function qualnames) only controls
+    the worklist seeding; the result is the least fixpoint and is
+    therefore identical for every order — see the property test.
+    """
+    names = list(order) if order is not None else sorted(facts)
+
+    mutated: Dict[str, Set[str]] = {}
+    reads: Dict[str, Set[Tuple[str, str]]] = {}
+    outs: Dict[str, FrozenSet[str]] = {}
+    for qual in names:
+        f = facts[qual]
+        outs[qual] = declared_out_params(f.info)
+        mutated[qual] = set(f.mutated_params())
+        reads[qual] = set(f.global_reads)
+
+    # reverse edges: callee -> callers, so a summary change re-queues
+    # exactly the functions it can influence
+    callers: Dict[str, Set[str]] = {qual: set() for qual in names}
+    for qual in names:
+        for call in facts[qual].calls:
+            if call.callee is not None and call.callee in callers:
+                callers[call.callee].add(qual)
+
+    def apply(qual: str) -> bool:
+        """Recompute ``qual`` from its callees; True when it grew."""
+        f = facts[qual]
+        params = set(f.info.params)
+        new_mutated = set(mutated[qual])
+        new_reads = set(reads[qual])
+        for call in f.calls:
+            if call.callee is None or call.callee not in mutated:
+                continue
+            callee_effect = mutated[call.callee] | set(outs[call.callee])
+            for caller_name, callee_param in call.bindings:
+                if callee_param in callee_effect:
+                    new_mutated |= f.alias_roots(caller_name) & params
+            new_reads |= reads[call.callee]
+        grew = (len(new_mutated) > len(mutated[qual])
+                or len(new_reads) > len(reads[qual]))
+        mutated[qual] = new_mutated
+        reads[qual] = new_reads
+        return grew
+
+    pending = list(names)
+    in_queue = set(pending)
+    while pending:
+        qual = pending.pop()
+        in_queue.discard(qual)
+        if apply(qual):
+            for caller in callers.get(qual, ()):
+                if caller not in in_queue:
+                    pending.append(caller)
+                    in_queue.add(caller)
+
+    return {
+        qual: Summary(
+            mutated=frozenset(mutated[qual]),
+            global_reads=frozenset(reads[qual]),
+            out_writes=outs[qual],
+        )
+        for qual in sorted(facts)
+    }
+
+
+def global_read_allowed(module: str, name: str,
+                        allowlist: FrozenSet[str]) -> bool:
+    """True when a ``(module, name)`` read is sanctioned by ``allowlist``.
+
+    Entries are either bare names (``_current_tracer`` — any module) or
+    dotted ``module.name`` suffixes
+    (``repro.obs.tracer._current_tracer``).
+    """
+    if name in allowlist:
+        return True
+    qualified = f"{display_module(module)}.{name}"
+    return any("." in entry and qualified.endswith(entry)
+               for entry in allowlist)
+
+
+def describe_impurity(summary: Summary, allowlist: FrozenSet[str]) -> str:
+    """One-line human description of why a summary is impure ('' if pure)."""
+    problems = []
+    params = sorted(summary.impure_params)
+    if params:
+        problems.append("mutates parameter(s) " + ", ".join(params))
+    bad_reads = sorted(
+        (mod, name) for mod, name in summary.global_reads
+        if not global_read_allowed(mod, name, allowlist))
+    if bad_reads:
+        problems.append("reads module global(s) " + ", ".join(
+            f"{display_module(mod)}.{name}" for mod, name in bad_reads))
+    return "; ".join(problems)

@@ -1,0 +1,71 @@
+"""The whole-program view handed to project-aware lint rules.
+
+A :class:`Project` owns the three dataflow layers — symbol table, per
+-function direct facts, and the transitive purity fixpoint — built
+lazily from the :class:`~repro.analysis.engine.FileContext`\\ s of one
+lint invocation.  Per-file rules ignore it; project rules
+(RPR007/RPR008) query it to resolve calls across module boundaries and
+to read transitive effect summaries.
+
+Laziness matters for CLI latency: a ``--select RPR001`` run never pays
+for the fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..engine import FileContext
+from .effects import CallSite, FunctionFacts, build_facts
+from .fixpoint import Summary, compute_summaries
+from .symbols import FunctionInfo, ModuleInfo, SymbolTable
+
+__all__ = ["Project"]
+
+
+class Project:
+    """Symbol table + effect facts + purity summaries for one lint run."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        self._contexts = list(contexts)
+        self._symtab: Optional[SymbolTable] = None
+        self._facts: Optional[Dict[str, FunctionFacts]] = None
+        self._summaries: Optional[Dict[str, Summary]] = None
+
+    @property
+    def symtab(self) -> SymbolTable:
+        if self._symtab is None:
+            self._symtab = SymbolTable(self._contexts)
+        return self._symtab
+
+    @property
+    def facts(self) -> Dict[str, FunctionFacts]:
+        if self._facts is None:
+            self._facts = build_facts(self.symtab)
+        return self._facts
+
+    @property
+    def summaries(self) -> Dict[str, Summary]:
+        if self._summaries is None:
+            self._summaries = compute_summaries(self.facts)
+        return self._summaries
+
+    # ------------------------------------------------------------------
+    def module_for(self, ctx: FileContext) -> ModuleInfo:
+        """The module built from ``ctx`` (KeyError if not in this run)."""
+        return self.symtab.module_for(ctx)
+
+    def summary_for(self, qualname: str) -> Optional[Summary]:
+        """Transitive summary of a function by qualname, if known."""
+        return self.summaries.get(qualname)
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        facts = self.facts.get(qualname)
+        return facts.info if facts is not None else None
+
+    def call_site_index(self, qualname: str) -> Dict[int, CallSite]:
+        """Map ``id(call node) -> CallSite`` for one function's body."""
+        facts = self.facts.get(qualname)
+        if facts is None:
+            return {}
+        return {id(site.node): site for site in facts.calls}

@@ -1,0 +1,299 @@
+"""Project-wide symbol table for the interprocedural dataflow pass.
+
+The per-file rules (RPR001–RPR006) treat every module as an island;
+the purity and escape rules (RPR007/RPR008) cannot: whether a cached
+kernel is pure depends on every function it calls, across module
+boundaries.  This module builds the whole-program view those rules
+need — every module that reaches the linter, its top-level functions,
+classes, methods, imports, and module-level globals — and resolves
+dotted references *through* imports and re-export chains.
+
+Modules are keyed by their full path-derived dotted name (so fixture
+packages and the real ``repro`` tree coexist in one table); absolute
+imports resolve by **dotted suffix match** (``repro.perf.cache``
+matches ``<anything>.repro.perf.cache``), relative imports by path
+arithmetic against the importing module's package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine import FileContext
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "SymbolTable",
+    "FuncNode",
+    "module_name_for",
+    "display_module",
+]
+
+FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Recursion cap while following ``from .x import y`` re-export chains.
+_REEXPORT_DEPTH = 8
+
+
+def module_name_for(path_parts: Sequence[str]) -> str:
+    """Dotted module name for a file path (``__init__`` names the package).
+
+    The name keeps *every* path component (minus the ``.py`` suffix) so
+    two files never collide; consumers match absolute imports against
+    it by dotted suffix.
+    """
+    parts = [p for p in path_parts if p not in ("/", "")]
+    if not parts:
+        return "<unknown>"
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[:-3]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = list(parts[:-1]) + [last]
+    return ".".join(p.replace(".", "_") if p.endswith((".egg-info",)) else p
+                    for p in parts)
+
+
+def display_module(module_name: str) -> str:
+    """Human-oriented module name: trim the filesystem prefix.
+
+    ``a.b.src.repro.perf.cache`` -> ``repro.perf.cache``; names without
+    a ``src`` component keep their last three components.
+    """
+    parts = module_name.split(".")
+    if "src" in parts:
+        tail = parts[parts.index("src") + 1:]
+        if tail:
+            return ".".join(tail)
+    return ".".join(parts[-3:]) if len(parts) > 3 else module_name
+
+
+def _function_kind(node: FuncNode, in_class: bool) -> str:
+    """``function`` / ``method`` / ``staticmethod`` / ``classmethod``."""
+    if not in_class:
+        return "function"
+    for dec in node.decorator_list:
+        name = dec.id if isinstance(dec, ast.Name) else (
+            dec.attr if isinstance(dec, ast.Attribute) else None)
+        if name == "staticmethod":
+            return "staticmethod"
+        if name == "classmethod":
+            return "classmethod"
+    return "method"
+
+
+def _param_names(node: FuncNode) -> Tuple[str, ...]:
+    a = node.args
+    params: List[str] = [p.arg for p in a.posonlyargs] + [p.arg for p in a.args]
+    if a.vararg is not None:
+        params.append(a.vararg.arg)
+    params.extend(p.arg for p in a.kwonlyargs)
+    if a.kwarg is not None:
+        params.append(a.kwarg.arg)
+    return tuple(params)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method known to the project."""
+
+    qualname: str          #: ``<module>::name`` or ``<module>::Class.name``
+    module: str            #: full dotted module name
+    name: str              #: bare function name
+    class_name: Optional[str]
+    kind: str              #: function / method / staticmethod / classmethod
+    node: FuncNode
+    params: Tuple[str, ...]
+
+    @property
+    def display(self) -> str:
+        """``repro.perf.cache.IterativeCache.put``-style short name."""
+        owner = f"{self.class_name}." if self.class_name else ""
+        return f"{display_module(self.module)}.{owner}{self.name}"
+
+    @property
+    def positional_params(self) -> Tuple[str, ...]:
+        """Parameters positional callers bind, implicit receiver dropped."""
+        if self.kind in ("method", "classmethod") and self.params:
+            return self.params[1:]
+        return self.params
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the dataflow pass knows about one parsed module."""
+
+    name: str
+    ctx: FileContext
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: local name -> absolute dotted target (relative imports resolved)
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level names bound by assignment (the "module globals"
+    #: RPR007 polices; imports and def/class bindings are not included)
+    global_names: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module lives in (itself, for ``__init__``)."""
+        if self.ctx.basename == "__init__.py":
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def _resolve_relative(package: str, target: str) -> str:
+    """Turn ``..mod.attr`` (as recorded by ``collect_imports``) absolute."""
+    level = 0
+    while level < len(target) and target[level] == ".":
+        level += 1
+    base_parts = package.split(".") if package else []
+    # one leading dot = current package; each further dot climbs one
+    up = level - 1
+    if up > 0:
+        base_parts = base_parts[:-up] if up < len(base_parts) else []
+    rest = target[level:]
+    return ".".join(base_parts + ([rest] if rest else [])) if base_parts else rest
+
+
+def _build_module(ctx: FileContext) -> ModuleInfo:
+    from ..rules.base import collect_imports
+
+    name = module_name_for([str(p) for p in ctx.path.parts])
+    mod = ModuleInfo(name=name, ctx=ctx)
+    for node in ctx.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(
+                qualname=f"{name}::{node.name}", module=name,
+                name=node.name, class_name=None, kind="function",
+                node=node, params=_param_names(node),
+            )
+            mod.functions[node.name] = info
+        elif isinstance(node, ast.ClassDef):
+            methods: Dict[str, FunctionInfo] = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = FunctionInfo(
+                        qualname=f"{name}::{node.name}.{item.name}",
+                        module=name, name=item.name, class_name=node.name,
+                        kind=_function_kind(item, in_class=True),
+                        node=item, params=_param_names(item),
+                    )
+                    methods[item.name] = info
+            mod.classes[node.name] = methods
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        mod.global_names.setdefault(sub.id, node.lineno)
+    raw_imports = collect_imports(ctx.tree)
+    for local, target in raw_imports.items():
+        if target.startswith("."):
+            target = _resolve_relative(mod.package, target)
+        mod.imports[local] = target
+    return mod
+
+
+class SymbolTable:
+    """All modules in one linted project, with cross-module resolution."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        # sorted so the table (and everything derived from it) is
+        # independent of the order contexts arrive in
+        modules = sorted((_build_module(c) for c in contexts),
+                         key=lambda m: m.name)
+        self.modules: Dict[str, ModuleInfo] = {}
+        for mod in modules:
+            self.modules[mod.name] = mod
+        self._by_context: Dict[int, ModuleInfo] = {
+            id(mod.ctx): mod for mod in self.modules.values()
+        }
+
+    def module_for(self, ctx: FileContext) -> ModuleInfo:
+        """The :class:`ModuleInfo` built from ``ctx``."""
+        return self._by_context[id(ctx)]
+
+    def functions(self) -> List[FunctionInfo]:
+        """Every known function/method, deterministically ordered."""
+        out: List[FunctionInfo] = []
+        for name in sorted(self.modules):
+            mod = self.modules[name]
+            out.extend(mod.functions[f] for f in sorted(mod.functions))
+            for cls in sorted(mod.classes):
+                methods = mod.classes[cls]
+                out.extend(methods[m] for m in sorted(methods))
+        return out
+
+    # ------------------------------------------------------------------
+    def _match_module(self, dotted: str) -> Optional[ModuleInfo]:
+        """The module whose full name ends with ``dotted``, if any."""
+        direct = self.modules.get(dotted)
+        if direct is not None:
+            return direct
+        suffix = "." + dotted
+        hits = [m for name, m in sorted(self.modules.items())
+                if name.endswith(suffix)]
+        return hits[0] if hits else None
+
+    def resolve_function(self, qualified: str,
+                         _depth: int = 0) -> Optional[FunctionInfo]:
+        """Resolve an absolute dotted reference to a known function.
+
+        Accepts ``pkg.mod.func``, ``pkg.mod.Class.method``, and
+        ``pkg.mod.Class`` (resolved to ``Class.__init__`` when it
+        exists).  Re-export chains (``from .tracer import get_tracer``
+        in an ``__init__``) are followed to the defining module.
+        """
+        if _depth > _REEXPORT_DEPTH:
+            return None
+        parts = qualified.split(".")
+        # try progressively shorter module prefixes: the remainder is
+        # the in-module path (func | Class | Class.method)
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = self._match_module(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            tail = parts[cut:]
+            found = self._lookup_in_module(mod, tail, _depth)
+            if found is not None:
+                return found
+        return None
+
+    def _lookup_in_module(self, mod: ModuleInfo, tail: List[str],
+                          depth: int) -> Optional[FunctionInfo]:
+        if not tail:
+            return None
+        head = tail[0]
+        if len(tail) == 1:
+            if head in mod.functions:
+                return mod.functions[head]
+            if head in mod.classes:
+                return mod.classes[head].get("__init__")
+        elif len(tail) == 2 and tail[0] in mod.classes:
+            return mod.classes[tail[0]].get(tail[1])
+        # re-export: the name is imported into this module from elsewhere
+        if head in mod.imports:
+            target = ".".join([mod.imports[head]] + tail[1:])
+            return self.resolve_function(target, depth + 1)
+        return None
+
+    def resolve_class(self, qualified: str) -> Optional[Tuple[ModuleInfo, str]]:
+        """Resolve a dotted reference to a known class definition."""
+        parts = qualified.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = self._match_module(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            tail = parts[cut:]
+            if len(tail) == 1:
+                if tail[0] in mod.classes:
+                    return mod, tail[0]
+                if tail[0] in mod.imports:
+                    return self.resolve_class(mod.imports[tail[0]])
+        return None

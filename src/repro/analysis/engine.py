@@ -20,6 +20,15 @@ the two never collide::
 Directories named in :data:`DEFAULT_EXCLUDE_DIRS` (notably the lint
 test fixtures, which contain violations *on purpose*) are skipped when
 walking a directory tree; paths given explicitly are always linted.
+
+Since the interprocedural pass (RPR007/RPR008) landed, a lint run is
+whole-program: every file of the invocation is parsed first, a shared
+:class:`~repro.analysis.dataflow.Project` (symbol table → call graph →
+effect summaries → purity fixpoint) is built over all of them, and
+project-aware rules resolve calls across module boundaries.  ``select``
+now restricts what is *reported*, not what runs: RPR009 (stale
+suppressions) is only sound against the raw findings of the full
+registry, so selecting it runs everything underneath.
 """
 
 from __future__ import annotations
@@ -31,14 +40,28 @@ import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..exceptions import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rules import Rule
 
 __all__ = [
     "Finding",
     "FileContext",
     "LintReport",
+    "NoqaDirective",
     "DEFAULT_EXCLUDE_DIRS",
     "lint_paths",
     "lint_file",
@@ -55,8 +78,10 @@ DEFAULT_EXCLUDE_DIRS = frozenset({
     "build", "dist", ".eggs", "lint_fixtures",
 })
 
-#: ``# repr: noqa`` / ``# repr: noqa RPR001,RPR003`` (ids comma or
-#: space separated; anything after ``--`` is a human comment).
+#: Matches a suppression directive: the marker ``repr: noqa`` inside a
+#: comment, optionally followed by rule ids (comma or space separated;
+#: anything after ``--`` is a human note).  Spelled without the leading
+#: hash here so this very comment is not parsed as a live directive.
 _NOQA_RE = re.compile(
     r"#\s*repr:\s*noqa(?P<ids>[\sA-Z0-9,]*)", re.IGNORECASE
 )
@@ -92,6 +117,16 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
 
+@dataclass(frozen=True)
+class NoqaDirective:
+    """One parsed ``# repr: noqa [RPRxxx, ...]`` comment."""
+
+    #: suppressed rule ids; the single member ``"*"`` suppresses all
+    ids: FrozenSet[str]
+    #: 1-indexed column of the comment marker
+    col: int
+
+
 @dataclass
 class FileContext:
     """Everything a rule needs to check one parsed file."""
@@ -102,8 +137,8 @@ class FileContext:
     #: lowercase directory names on the file's path (``core``, ``tests``...),
     #: used by scope-restricted rules (RPR002 only guards the numeric core).
     dir_parts: Tuple[str, ...] = ()
-    #: line -> suppressed rule ids; ``"*"`` member suppresses everything.
-    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    #: line -> parsed suppression directive on that line.
+    noqa: Dict[int, NoqaDirective] = field(default_factory=dict)
 
     @property
     def display_path(self) -> str:
@@ -119,8 +154,10 @@ class FileContext:
         return self.path.name
 
     def suppressed(self, line: int, rule: str) -> bool:
-        ids = self.noqa.get(line)
-        return ids is not None and ("*" in ids or rule.upper() in ids)
+        directive = self.noqa.get(line)
+        if directive is None:
+            return False
+        return "*" in directive.ids or rule.upper() in directive.ids
 
 
 @dataclass
@@ -142,31 +179,35 @@ class LintReport:
         return 1 if self.findings else 0
 
 
-def _parse_noqa(source: str) -> Dict[int, Set[str]]:
-    """Map line numbers to suppressed rule ids.
+def _parse_noqa(source: str) -> Dict[int, NoqaDirective]:
+    """Map line numbers to parsed suppression directives.
 
     Tokenises so the directive is only honoured inside real comments —
     a string literal containing ``# repr: noqa`` does not suppress
     anything.  Falls back to a line scan if tokenisation fails (the AST
-    parse will report the syntax problem anyway).
+    parse will report the syntax problem anyway).  Columns are
+    1-indexed, pointing at the comment marker, so RPR009 findings jump
+    editors to the directive itself.
     """
-    out: Dict[int, Set[str]] = {}
+    out: Dict[int, NoqaDirective] = {}
 
-    def record(lineno: int, text: str) -> None:
+    def record(lineno: int, col: int, text: str) -> None:
         m = _NOQA_RE.search(text)
         if not m:
             return
-        ids = {i.upper() for i in _RULE_ID_RE.findall(m.group("ids") or "")}
-        out[lineno] = ids or {"*"}
+        ids = frozenset(
+            i.upper() for i in _RULE_ID_RE.findall(m.group("ids") or ""))
+        out[lineno] = NoqaDirective(ids=ids or frozenset({"*"}), col=col)
 
     try:
         for tok in tokenize.generate_tokens(StringIO(source).readline):
             if tok.type == tokenize.COMMENT:
-                record(tok.start[0], tok.string)
+                record(tok.start[0], tok.start[1] + 1, tok.string)
     except (tokenize.TokenError, IndentationError, SyntaxError):
         for lineno, line in enumerate(source.splitlines(), start=1):
             if "#" in line:
-                record(lineno, line[line.index("#"):])
+                idx = line.index("#")
+                record(lineno, idx + 1, line[idx:])
     return out
 
 
@@ -217,23 +258,64 @@ def iter_python_files(paths: Sequence[Path],
             raise ParameterError(f"no such file or directory: {path}")
 
 
-def lint_source(source: str, path: str = "<string>", *,
-                select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint an in-memory source string (test/tooling entry point)."""
-    from .rules import get_rules
+def _lint_contexts(contexts: Sequence[FileContext],
+                   select: Optional[Sequence[str]]) -> List[Finding]:
+    """Run the rule set over pre-parsed contexts, one shared project.
 
-    ctx = build_context(Path(path), source)
+    ``select`` restricts what is *reported*.  RPR009 (stale noqa) is
+    defined against the raw findings of the entire registry, so any
+    selection including it — and the default no-selection run — runs
+    every rule underneath and filters at reporting time.
+    """
+    from .dataflow import Project
+    from .rules import get_rules, normalize_select
+    from .rules.rpr009_stale_noqa import StaleNoqaRule
+
+    selected = (None if select is None
+                else frozenset(normalize_select(select)))
+    run_all = selected is None or StaleNoqaRule.rule_id in selected
+    rules: List["Rule"] = (
+        get_rules() if run_all else get_rules(sorted(selected or ())))
+    stale_rule = next(
+        (r for r in rules if isinstance(r, StaleNoqaRule)), None)
+    if selected is not None and StaleNoqaRule.rule_id not in selected:
+        stale_rule = None
+
+    project = Project(contexts)
     findings: List[Finding] = []
-    for rule in get_rules(select):
-        for f in rule.check(ctx):
-            if not ctx.suppressed(f.line, f.rule):
-                findings.append(f)
+    for ctx in contexts:
+        raw: List[Finding] = []
+        for rule in rules:
+            if rule.engine_managed:
+                continue
+            produced = (rule.check_project(ctx, project)
+                        if rule.requires_project else rule.check(ctx))
+            raw.extend(produced)
+        active = [f for f in raw if not ctx.suppressed(f.line, f.rule)]
+        if stale_rule is not None:
+            # RPR009 findings bypass suppression: a stale directive
+            # cannot excuse its own staleness
+            active.extend(stale_rule.stale_findings(ctx, raw))
+        if selected is not None:
+            active = [f for f in active if f.rule in selected]
+        findings.extend(active)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 
+def lint_source(source: str, path: str = "<string>", *,
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint an in-memory source string (test/tooling entry point).
+
+    The dataflow project spans just this one source, so cross-module
+    references stay unresolved (and are treated as external).
+    """
+    ctx = build_context(Path(path), source)
+    return _lint_contexts([ctx], select)
+
+
 def lint_file(path: Path, *, select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint one file from disk."""
+    """Lint one file from disk (single-file dataflow project)."""
     source = Path(path).read_text(encoding="utf-8")
     return lint_source(source, str(path), select=select)
 
@@ -244,18 +326,20 @@ def lint_paths(paths: Sequence[object], *,
     """Lint every Python file reachable from ``paths``.
 
     The primary programmatic entry point; the CLI is a thin shell over
-    it.  ``select`` restricts checking to the given rule ids (e.g.
-    ``["RPR001"]``); unknown ids raise
-    :class:`~repro.exceptions.ParameterError`.
+    it.  All files are parsed first and share one dataflow project, so
+    the interprocedural rules see the whole program.  ``select``
+    restricts the reported rule ids (comma- or space-separated);
+    unknown ids raise :class:`~repro.exceptions.ParameterError`.
     """
     from .rules import get_rules
 
     get_rules(select)  # validate rule ids before touching any file
     files = list(iter_python_files([Path(str(p)) for p in paths], exclude_dirs))
-    findings: List[Finding] = []
-    for path in files:
-        findings.extend(lint_file(path, select=select))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    contexts = [
+        build_context(path, path.read_text(encoding="utf-8"))
+        for path in files
+    ]
+    findings = _lint_contexts(contexts, select)
     return LintReport(findings=findings, files_checked=len(files))
 
 

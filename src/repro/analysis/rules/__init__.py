@@ -1,12 +1,20 @@
 """Rule registry for the determinism lint engine.
 
-Each rule is a self-contained checker over one parsed file; the engine
+Each rule is a self-contained checker over one parsed file — or, for
+``requires_project`` rules, over one file *with* the whole-program
+dataflow view (:mod:`repro.analysis.dataflow`).  The engine
 instantiates them through :func:`get_rules`.  Adding a rule means
 adding a module here and listing its class in :data:`ALL_RULES`.
+
+``--select`` accepts rule ids space- or comma-separated
+(``--select RPR001,RPR003``); unknown or empty selections raise
+:class:`~repro.exceptions.ParameterError` so a typo fails loudly
+instead of silently checking nothing.
 """
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Sequence, Type
 
 from ...exceptions import ParameterError
@@ -17,12 +25,16 @@ from .rpr003_cache_keys import CacheKeyRule
 from .rpr004_api_contract import ApiContractRule
 from .rpr005_picklable import PicklableTargetRule
 from .rpr006_dtype import DtypeCoercionRule
+from .rpr007_cache_purity import CachePurityRule
+from .rpr008_shared_publish import SharedPublishRule
+from .rpr009_stale_noqa import StaleNoqaRule
 
 __all__ = [
     "Rule",
     "ALL_RULES",
     "get_rules",
     "rule_ids",
+    "normalize_select",
 ]
 
 ALL_RULES: List[Type[Rule]] = [
@@ -32,6 +44,9 @@ ALL_RULES: List[Type[Rule]] = [
     ApiContractRule,
     PicklableTargetRule,
     DtypeCoercionRule,
+    CachePurityRule,
+    SharedPublishRule,
+    StaleNoqaRule,
 ]
 
 
@@ -40,16 +55,23 @@ def rule_ids() -> List[str]:
     return [cls.rule_id for cls in ALL_RULES]
 
 
-def get_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Instantiate the registered rules, optionally restricted to ids.
+def normalize_select(select: Sequence[str]) -> List[str]:
+    """Validated, upper-cased rule ids from a raw ``--select`` value.
 
-    Unknown ids raise :class:`~repro.exceptions.ParameterError` so a
-    typo in ``--select RPR0001`` fails loudly instead of silently
-    checking nothing.
+    Splits comma- and whitespace-joined ids (``RPR001,RPR003``), then
+    rejects unknown or empty selections with
+    :class:`~repro.exceptions.ParameterError` (CLI exit 2).
     """
-    if select is None:
-        return [cls() for cls in ALL_RULES]
-    wanted = [s.upper() for s in select]
+    wanted: List[str] = []
+    for chunk in select:
+        wanted.extend(
+            part.upper() for part in re.split(r"[\s,]+", str(chunk)) if part
+        )
+    if not wanted:
+        raise ParameterError(
+            "--select was given but names no rule ids; known rules: "
+            + ", ".join(rule_ids())
+        )
     known = set(rule_ids())
     unknown = [s for s in wanted if s not in known]
     if unknown:
@@ -57,4 +79,12 @@ def get_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
             f"unknown rule id(s): {', '.join(unknown)}; "
             f"known rules: {', '.join(sorted(known))}"
         )
+    return wanted
+
+
+def get_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the registered rules, optionally restricted to ids."""
+    if select is None:
+        return [cls() for cls in ALL_RULES]
+    wanted = normalize_select(select)
     return [cls() for cls in ALL_RULES if cls.rule_id in wanted]

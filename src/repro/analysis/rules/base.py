@@ -10,9 +10,12 @@ actually refers to, through whatever import aliases the file uses
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
 
 from ..engine import FileContext, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataflow import Project
 
 __all__ = [
     "Rule",
@@ -27,13 +30,29 @@ ImportMap = Dict[str, str]
 
 
 class Rule:
-    """Base class: subclasses set ``rule_id``/``severity`` and ``check``."""
+    """Base class: subclasses set ``rule_id``/``severity`` and ``check``.
+
+    Per-file rules implement :meth:`check`.  Rules that need the
+    whole-program view set ``requires_project = True`` and implement
+    :meth:`check_project` instead — the engine hands them the
+    :class:`~repro.analysis.dataflow.Project` built for the lint run.
+    Rules the engine itself drives (RPR009 needs the raw findings of
+    every other rule) set ``engine_managed = True``; their ``check``
+    yields nothing.
+    """
 
     rule_id: str = "RPR000"
     severity: str = "error"
     summary: str = ""
+    requires_project: bool = False
+    engine_managed: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self, ctx: FileContext,
+                      project: "Project") -> Iterator[Finding]:
+        """Project-aware entry point (``requires_project`` rules only)."""
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str,

@@ -1,0 +1,174 @@
+"""RPR007 — cached kernels must be pure functions of their cache keys.
+
+RPR003 proves every :class:`~repro.perf.cache.IterativeCache` key
+*names* the right quantities; it cannot prove the cached **value** is a
+function of those quantities alone.  A producer that mutates one of its
+array arguments, or reads mutable module state, silently poisons every
+subsequent hit: the hill climb re-evaluates the same localities
+thousands of times, so one impure kernel skews the whole run while the
+key machinery looks perfectly healthy.
+
+For every ``self.<store>.put(key, value)`` site inside a class declared
+in :data:`~repro.analysis.contracts.CACHE_KEY_CONTRACTS`, this rule
+
+* traces which calls the ``value`` expression derives from (local
+  assignments resolved transitively, same machinery as RPR003);
+* resolves each producer through the project call graph; and
+* convicts any producer whose **transitive** effect summary mutates a
+  parameter (outside the sanctioned
+  :data:`~repro.analysis.contracts.DECLARED_OUT_PARAMS`) or reads a
+  mutable module global outside
+  :data:`~repro.analysis.contracts.PURITY_GLOBAL_ALLOWLIST`.
+
+A cached call site that passes an argument into a producer's declared
+``out`` parameter is also flagged: the write-through buffer would be
+stored and later served stale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from ..contracts import CACHE_KEY_CONTRACTS, PURITY_GLOBAL_ALLOWLIST
+from ..dataflow.effects import expand_names, local_bindings
+from ..dataflow.fixpoint import describe_impurity
+from ..dataflow.project import Project
+from ..dataflow.symbols import FuncNode
+from ..engine import FileContext, Finding
+from .base import Rule
+
+__all__ = ["CachePurityRule"]
+
+
+def _put_sites(method: FuncNode, stores: Set[str]) -> List[ast.Call]:
+    """``self.<store>.put(key, value)`` calls with a value argument."""
+    sites = []
+    for node in ast.walk(method):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "put"
+                and len(node.args) >= 2):
+            continue
+        owner = node.func.value
+        if (isinstance(owner, ast.Attribute) and owner.attr in stores
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id == "self"):
+            sites.append(node)
+    return sites
+
+
+class CachePurityRule(Rule):
+    rule_id = "RPR007"
+    severity = "error"
+    summary = "values cached by IterativeCache must come from pure producers"
+    requires_project = True
+
+    def check_project(self, ctx: FileContext,
+                      project: Project) -> Iterator[Finding]:
+        classes = [
+            node for node in ctx.tree.body
+            if isinstance(node, ast.ClassDef)
+            and node.name in CACHE_KEY_CONTRACTS
+        ]
+        if not classes:
+            return
+        module = project.module_for(ctx)
+        for cls in classes:
+            stores = {c.store for c in CACHE_KEY_CONTRACTS[cls.name].values()}
+            for item in cls.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{module.name}::{cls.name}.{item.name}"
+                    yield from self._check_method(
+                        ctx, project, qual, cls.name, item, stores)
+
+    # ------------------------------------------------------------------
+    def _check_method(self, ctx: FileContext, project: Project, qual: str,
+                      cls_name: str, method: FuncNode,
+                      stores: Set[str]) -> Iterator[Finding]:
+        sites = _put_sites(method, stores)
+        if not sites:
+            return
+        bindings = local_bindings(method)
+        site_index = project.call_site_index(qual)
+
+        # names whose values can reach any put()'s value argument
+        flow_names: Set[str] = set()
+        for site in sites:
+            value = site.args[1]
+            flow_names |= {
+                n.id for n in ast.walk(value) if isinstance(n, ast.Name)
+            }
+        flow_names = expand_names(flow_names, bindings)
+
+        producers = self._producer_calls(method, sites, flow_names)
+        reported: Set[Tuple[int, str]] = set()
+        for call in producers:
+            site = site_index.get(id(call))
+            if site is None or site.callee is None:
+                continue  # unresolved: external (numpy) calls, assumed pure
+            summary = project.summary_for(site.callee)
+            info = project.function(site.callee)
+            if summary is None or info is None:
+                continue
+            problem = describe_impurity(summary, PURITY_GLOBAL_ALLOWLIST)
+            if problem:
+                key = (call.lineno, site.callee)
+                if key not in reported:
+                    reported.add(key)
+                    yield self.finding(
+                        ctx, call,
+                        f"result of {info.display} flows into a "
+                        f"{cls_name} cache store but it {problem} "
+                        "(transitively)",
+                        hint="cached values must be pure functions of "
+                             "their declared keys; fix the producer or "
+                             "declare the global in "
+                             "PURITY_GLOBAL_ALLOWLIST "
+                             "(repro/analysis/contracts.py)",
+                    )
+            # a cached call site feeding a declared out-param is a
+            # write-through buffer being memoised: always wrong
+            for caller_name, callee_param in site.bindings:
+                if callee_param in summary.out_writes:
+                    yield self.finding(
+                        ctx, call,
+                        f"cached call to {info.display} passes "
+                        f"{caller_name!r} into its out parameter "
+                        f"{callee_param!r}; the cache would serve a "
+                        "buffer the caller keeps writing",
+                        hint="drop the out= argument on cached paths",
+                    )
+
+    def _producer_calls(self, method: FuncNode, sites: List[ast.Call],
+                        flow_names: Set[str]) -> List[ast.Call]:
+        """Calls whose results (transitively) reach a put value."""
+        producers: List[ast.Call] = []
+        site_values = [site.args[1] for site in sites]
+        # calls syntactically inside a put value expression
+        for value in site_values:
+            producers.extend(
+                n for n in ast.walk(value) if isinstance(n, ast.Call))
+        # calls assigned (possibly through a chain) to a flowing name
+        assigns: List[Tuple[ast.expr, ast.expr]] = []
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                assigns.extend((t, node.value) for t in node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                assigns.append((node.target, node.value))
+        for target, value in assigns:
+            target_names = {
+                n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+            }
+            if target_names & flow_names:
+                producers.extend(
+                    n for n in ast.walk(value) if isinstance(n, ast.Call))
+        # deterministic order, no duplicates
+        seen: Set[int] = set()
+        unique: List[ast.Call] = []
+        for call in sorted(producers,
+                           key=lambda c: (c.lineno, c.col_offset)):
+            if id(call) not in seen:
+                seen.add(id(call))
+                unique.append(call)
+        return unique

@@ -1,0 +1,178 @@
+"""RPR008 — published shared-memory buffers are frozen for good.
+
+The zero-copy data plane (:class:`repro.perf.parallel.SharedMatrix`)
+rests on a one-way contract: the parent publishes the sanitized matrix
+once, workers attach read-only views, and nothing on the parent side
+writes through the published pages (or the source array the parent
+keeps reasoning about) afterwards.  A violation is the nastiest kind of
+shared-memory bug — it only corrupts results when a worker happens to
+read after the write, so it passes every serial test.
+
+Two checks, both driven by
+:data:`~repro.analysis.contracts.SHARED_PUBLISH_METHODS`:
+
+* **publish freezes**: the class's ``publish`` method must write-protect
+  the shared view it fills (``view.flags.writeable = False`` or
+  ``view.setflags(write=False)``) before returning;
+* **no publish-then-mutate**: at every call site of ``publish``, the
+  published source array (and every view alias of it) must not be
+  mutated after the publish call — neither directly (``X[...] = v``,
+  ``X += v``, ``np.copyto(X, ...)``) nor by passing it into a call whose
+  **transitive** effect summary mutates that parameter, resolved
+  through the project call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..contracts import SHARED_PUBLISH_METHODS
+from ..dataflow.project import Project
+from ..dataflow.symbols import FuncNode
+from ..engine import FileContext, Finding
+from .base import Rule
+
+__all__ = ["SharedPublishRule"]
+
+
+def _has_write_protect(method: FuncNode) -> bool:
+    """True when the method write-protects some array before returning."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            attrs: List[str] = []
+            cur: ast.AST = target
+            while isinstance(cur, ast.Attribute):
+                attrs.append(cur.attr)
+                cur = cur.value
+            if (attrs[:2] == ["writeable", "flags"]
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is False):
+                return True
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "setflags"):
+            for kw in node.keywords:
+                if (kw.arg == "write"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False):
+                    return True
+    return False
+
+
+def _publish_target_class(call: ast.Call) -> Optional[str]:
+    """The publishing class name when ``call`` is ``<Cls>.publish(...)``."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.value is not None):
+        return None
+    for cls_name, method_name in SHARED_PUBLISH_METHODS.items():
+        if func.attr != method_name:
+            continue
+        base = func.value
+        # SharedMatrix.publish(X) / parallel.SharedMatrix.publish(X) /
+        # cls.publish(X) inside the class itself
+        if isinstance(base, ast.Name) and base.id in (cls_name, "cls"):
+            return cls_name
+        if isinstance(base, ast.Attribute) and base.attr == cls_name:
+            return cls_name
+    return None
+
+
+class SharedPublishRule(Rule):
+    rule_id = "RPR008"
+    severity = "error"
+    summary = "published shared buffers must be write-protected and never mutated"
+    requires_project = True
+
+    def check_project(self, ctx: FileContext,
+                      project: Project) -> Iterator[Finding]:
+        # (a) the publishing class itself must freeze the shared view
+        for node in ctx.tree.body:
+            if (isinstance(node, ast.ClassDef)
+                    and node.name in SHARED_PUBLISH_METHODS):
+                method_name = SHARED_PUBLISH_METHODS[node.name]
+                for item in node.body:
+                    if (isinstance(item, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                            and item.name == method_name
+                            and not _has_write_protect(item)):
+                        yield self.finding(
+                            ctx, item,
+                            f"{node.name}.{method_name} fills a shared "
+                            "segment but never write-protects the view",
+                            hint="set view.flags.writeable = False (or "
+                                 "view.setflags(write=False)) before "
+                                 "returning the published handle",
+                        )
+
+        # (b) no call site may mutate the published source afterwards
+        module = project.module_for(ctx)
+        for qual in sorted(project.facts):
+            facts = project.facts[qual]
+            if facts.info.module != module.name:
+                continue
+            yield from self._check_function(ctx, project, qual)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, ctx: FileContext, project: Project,
+                        qual: str) -> Iterator[Finding]:
+        facts = project.facts[qual]
+        publishes: List[Tuple[Tuple[int, int], str, Set[str]]] = []
+        for site in facts.calls:
+            cls_name = _publish_target_class(site.node)
+            if cls_name is None or not site.node.args:
+                continue
+            source = site.node.args[0]
+            names = {n.id for n in ast.walk(source)
+                     if isinstance(n, ast.Name)}
+            if names:
+                position = (site.node.lineno, site.node.col_offset)
+                publishes.append((position, cls_name, names))
+        if not publishes:
+            return
+
+        for position, cls_name, seeds in publishes:
+            protected = facts.aliases_of(seeds)
+            # direct mutations after the publish call
+            for event in facts.mutations:
+                if event.kind != "write":
+                    continue
+                node_pos = (getattr(event.node, "lineno", 0),
+                            getattr(event.node, "col_offset", 0))
+                if node_pos <= position:
+                    continue
+                hit = sorted(set(event.names) & protected)
+                if hit:
+                    via = f" (via {event.via})" if event.via else ""
+                    yield self.finding(
+                        ctx, event.node,
+                        f"{hit[0]!r} was published through "
+                        f"{cls_name}.publish and is mutated "
+                        f"afterwards{via}",
+                        hint="workers hold live views; copy before "
+                             "mutating, or mutate before publishing",
+                    )
+            # calls that hand an alias to a (transitively) mutating callee
+            for call_site in facts.calls:
+                call_pos = (call_site.node.lineno,
+                            call_site.node.col_offset)
+                if call_pos <= position or call_site.callee is None:
+                    continue
+                summary = project.summary_for(call_site.callee)
+                info = project.function(call_site.callee)
+                if summary is None or info is None:
+                    continue
+                writable = summary.mutated | summary.out_writes
+                for caller_name, callee_param in call_site.bindings:
+                    if (caller_name in protected
+                            and callee_param in writable):
+                        yield self.finding(
+                            ctx, call_site.node,
+                            f"{caller_name!r} was published through "
+                            f"{cls_name}.publish and is later passed "
+                            f"to {info.display}, which mutates its "
+                            f"{callee_param!r} parameter (transitively)",
+                            hint="pass a copy, or make the callee pure "
+                                 "in that argument",
+                        )

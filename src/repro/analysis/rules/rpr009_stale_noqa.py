@@ -1,0 +1,70 @@
+"""RPR009 — suppression hygiene: stale ``# repr: noqa`` is a finding.
+
+Every suppression is a reviewed exception; once the code it excused is
+fixed or deleted, the directive is a dangling liability — it silently
+re-arms if a *new* violation ever lands on that line, and it inflates
+the audited baseline.  This rule flags every ``# repr: noqa [RPRxxx]``
+comment that no longer suppresses any finding, so the suppression
+baseline can only shrink.
+
+Mechanics differ from every other rule: staleness is defined against
+the **raw** (pre-suppression) findings of the *entire* registry, so
+the engine drives this rule itself (``engine_managed``) after running
+all other rules — including when ``--select`` narrows what gets
+*reported*.  RPR009 findings are exempt from suppression: a stale
+directive cannot excuse its own staleness (a bare ``# repr: noqa``
+would otherwise always self-suppress).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..engine import FileContext, Finding
+from .base import Rule
+
+__all__ = ["StaleNoqaRule"]
+
+
+class StaleNoqaRule(Rule):
+    rule_id = "RPR009"
+    severity = "error"
+    summary = "noqa directives that suppress nothing must be removed"
+    engine_managed = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Engine-managed: the engine calls :meth:`stale_findings`."""
+        return iter(())
+
+    def stale_findings(self, ctx: FileContext,
+                       raw: List[Finding]) -> Iterator[Finding]:
+        """Findings for directives no raw finding made use of.
+
+        ``raw`` is every pre-suppression finding of every *other* rule
+        for this file.
+        """
+        rules_by_line: dict = {}
+        for f in raw:
+            rules_by_line.setdefault(f.line, set()).add(f.rule)
+        for line in sorted(ctx.noqa):
+            directive = ctx.noqa[line]
+            present = rules_by_line.get(line, set())
+            if "*" in directive.ids:
+                used = bool(present)
+                label = "# repr: noqa"
+            else:
+                used = bool(directive.ids & present)
+                label = "# repr: noqa " + ", ".join(sorted(directive.ids))
+            if used:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                severity=self.severity,
+                path=ctx.display_path,
+                line=line,
+                col=directive.col,
+                message=f"stale suppression: {label!r} no longer "
+                        "suppresses any finding",
+                hint="delete the directive; it would silently re-arm "
+                     "on the next violation landing on this line",
+            )

@@ -19,7 +19,7 @@ Subcommands
     Run a registered paper experiment (``table1`` .. ``table5``,
     ``fig7`` .. ``fig9``, ablations) and print its report.
 ``lint``
-    Run the determinism & contract lint gate (rules RPR001-RPR006)
+    Run the determinism & contract lint gate (rules RPR001-RPR009)
     over source trees; exits nonzero on any finding.
 ``list``
     List available experiments.
@@ -181,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ln = sub.add_parser(
         "lint",
-        help="determinism & contract lint (RPR001-RPR006)",
+        help="determinism & contract lint (RPR001-RPR009)",
         description="Static analysis of the library's determinism "
                     "contracts: seeded-Generator threading, wall-clock "
                     "hygiene, cache-key completeness, API typing, "

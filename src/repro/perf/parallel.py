@@ -134,6 +134,10 @@ class SharedMatrix:
         shm = shared_memory.SharedMemory(create=True, size=max(1, X.nbytes))
         view = np.ndarray(X.shape, dtype=X.dtype, buffer=shm.buf)
         view[...] = X
+        # Freeze the parent-side view: every worker sees these pages, so
+        # a stray in-place write after publish would corrupt the fan-out
+        # (RPR008 enforces this contract statically).
+        view.flags.writeable = False
         return cls(shm, X.shape, X.dtype.str)
 
     @property

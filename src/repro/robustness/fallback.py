@@ -31,12 +31,15 @@ bottom of the dependency stack (:mod:`repro.distance` imports
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..exceptions import DegenerateDataError
 from ..rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..core.result import ProclusResult
 
 __all__ = ["DegradationPlan", "plan_degradation", "distinct_row_count",
            "kmedoids_fallback"]
@@ -160,8 +163,10 @@ def plan_degradation(X: np.ndarray, k: int, l: float,
     return plan
 
 
-def kmedoids_fallback(X: np.ndarray, k: int, *, l: float = None,
-                      seed: SeedLike = None, metric="euclidean"):
+def kmedoids_fallback(X: np.ndarray, k: int, *,
+                      l: Optional[float] = None,
+                      seed: SeedLike = None,
+                      metric: str = "euclidean") -> "ProclusResult":
     """Full-dimensional CLARANS clustering shaped as a ``ProclusResult``.
 
     The last rung of the ladder: when projected clustering is

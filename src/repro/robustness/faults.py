@@ -53,7 +53,7 @@ __all__ = [
 ]
 
 
-def inject_nan_rows(X, fraction: float = 0.05, *, value: float = math.nan,
+def inject_nan_rows(X: np.ndarray, fraction: float = 0.05, *, value: float = math.nan,
                     seed: SeedLike = None) -> np.ndarray:
     """Poison a fraction of rows with a non-finite cell each.
 
@@ -70,7 +70,7 @@ def inject_nan_rows(X, fraction: float = 0.05, *, value: float = math.nan,
     return X
 
 
-def inject_duplicates(X, fraction: float = 0.3, *,
+def inject_duplicates(X: np.ndarray, fraction: float = 0.3, *,
                       seed: SeedLike = None) -> np.ndarray:
     """Append exact copies of randomly chosen rows (``fraction`` of N)."""
     X = np.asarray(X, dtype=np.float64)
@@ -81,7 +81,7 @@ def inject_duplicates(X, fraction: float = 0.3, *,
     return np.vstack([X, X[rows]])
 
 
-def inject_constant_dims(X, n_dims: int = 1, *, value: float = 0.0,
+def inject_constant_dims(X: np.ndarray, n_dims: int = 1, *, value: float = 0.0,
                          seed: SeedLike = None) -> np.ndarray:
     """Overwrite random columns with a constant (dead sensors)."""
     X = np.array(X, dtype=np.float64, copy=True)
@@ -92,7 +92,7 @@ def inject_constant_dims(X, n_dims: int = 1, *, value: float = 0.0,
     return X
 
 
-def inject_extreme_scale(X, factor: float = 1e9, *,
+def inject_extreme_scale(X: np.ndarray, factor: float = 1e9, *,
                          dims: Optional[Sequence[int]] = None,
                          seed: SeedLike = None) -> np.ndarray:
     """Multiply some columns by a huge factor (unit mismatches)."""
@@ -132,7 +132,7 @@ class FaultPlan:
         """Readable plan identity, e.g. ``"nan_rows+duplicates"``."""
         return "+".join(f.name for f in self.faults) or "clean"
 
-    def apply(self, X, *, seed: SeedLike = None) -> np.ndarray:
+    def apply(self, X: np.ndarray, *, seed: SeedLike = None) -> np.ndarray:
         """Run every fault in order on a copy of ``X``."""
         rng = ensure_rng(seed)
         X = np.array(X, dtype=np.float64, copy=True)

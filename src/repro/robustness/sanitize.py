@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 import numpy as np
 
@@ -235,11 +235,12 @@ def _collapse_duplicates(X: np.ndarray, keep: np.ndarray,
     return X[reps], keep[reps], positions
 
 
-def sanitize(X, *, on_bad_values: str = "raise",
+def sanitize(X: Any, *, on_bad_values: str = "raise",
              collapse_duplicates: bool = False,
              detect_constant_dims: bool = True,
              warn: bool = True,
-             dtype=None) -> Tuple[np.ndarray, SanitizationReport]:
+             dtype: Any = None
+             ) -> Tuple[np.ndarray, SanitizationReport]:
     """Normalise a raw matrix into clean algorithm input.
 
     Parameters

@@ -1,0 +1,5 @@
+"""RPR007 fixture package: an IterativeCache fed by impure producers.
+
+Linted as a directory (whole-program view) by the tests; excluded from
+repo walks via DEFAULT_EXCLUDE_DIRS like every lint fixture.
+"""

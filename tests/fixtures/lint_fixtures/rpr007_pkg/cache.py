@@ -1,0 +1,55 @@
+"""An IterativeCache whose put sites memoise impure producer results."""
+
+from .kernels import (
+    chained_distance,
+    counted_distance,
+    pure_distance,
+    scale_rows,
+    segmental_columns,
+)
+
+
+class _Store:
+    def __init__(self):
+        self._data = {}
+
+    def put(self, key, value):
+        self._data[key] = value
+
+    def get(self, key):
+        return self._data.get(key)
+
+
+class IterativeCache:
+    def __init__(self):
+        self._distance = _Store()
+        self._segmental = _Store()
+
+    def distance_columns(self, X, row, metric):
+        key = (row, metric)
+        col = counted_distance(X, row)  # impure: reads module state
+        self._distance.put(key, col)
+        return col
+
+    def store_scaled(self, X, w, row, metric):
+        key = (row, metric)
+        scaled = scale_rows(X, w)  # impure: mutates X in place
+        self._distance.put(key, scaled)
+        return scaled
+
+    def store_chained(self, X, row, metric):
+        key = (row, metric)
+        self._distance.put(key, chained_distance(X, row))  # transitive
+        return key
+
+    def store_pure(self, X, row, metric):
+        key = (row, metric)
+        col = pure_distance(X, row)  # clean: no finding here
+        self._distance.put(key, col)
+        return col
+
+    def segmental_matrix(self, X, row, dims, buf):
+        key = (row, dims)
+        seg = segmental_columns(X, dims, out=buf)  # cached write-through
+        self._segmental.put(key, seg)
+        return seg

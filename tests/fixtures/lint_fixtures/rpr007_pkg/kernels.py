@@ -1,0 +1,37 @@
+"""Producers for the RPR007 fixture cache: pure, impure, and out-param."""
+
+import numpy as np
+
+_call_log = {"n": 0}  # mutable module global (lowercase: not a constant)
+
+EPS = 1e-9  # ALL_CAPS constant: exempt by convention
+
+
+def scale_rows(X, w):
+    """Impure: mutates its array argument in place."""
+    X *= w
+    return X
+
+
+def counted_distance(X, row):
+    """Impure: reads (and writes) mutable module state."""
+    _call_log["n"] += 1
+    return np.abs(X - X[row]).sum(axis=1)
+
+
+def chained_distance(X, row):
+    """Transitively impure through counted_distance."""
+    return counted_distance(X, row)
+
+
+def pure_distance(X, row):
+    """Pure: a function of its arguments (plus a module constant)."""
+    return np.abs(X - X[row]).sum(axis=1) + EPS
+
+
+def segmental_columns(X, dims, out=None):
+    """Declared out-param producer (DECLARED_OUT_PARAMS sanctions it)."""
+    if out is None:
+        out = np.empty(X.shape[0], dtype=X.dtype)
+    out[...] = X[:, dims].sum(axis=1)
+    return out

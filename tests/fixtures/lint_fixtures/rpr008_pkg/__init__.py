@@ -1,0 +1,1 @@
+"""RPR008 fixture package: publish-then-mutate violations."""

@@ -1,0 +1,42 @@
+"""Call sites that mutate a published matrix after SharedMatrix.publish."""
+
+from .shared import SharedMatrix
+
+
+def scale_inplace(X, w):
+    X *= w
+
+
+def tweak(X, w):
+    scale_inplace(X, w)  # transitive mutation of X
+
+
+def direct_write_after_publish(X):
+    handle = SharedMatrix.publish(X)
+    X[0] = 0.0  # workers hold live views of these pages
+    return handle
+
+
+def alias_write_after_publish(X):
+    Y = X.T
+    handle = SharedMatrix.publish(X)
+    Y += 1.0  # writes through the published buffer via the alias
+    return handle
+
+
+def mutating_call_after_publish(X, w):
+    handle = SharedMatrix.publish(X)
+    tweak(X, w)  # callee chain mutates X
+    return handle
+
+
+def write_before_publish_is_fine(X):
+    X[0] = 0.0  # pre-publish mutation: legal
+    handle = SharedMatrix.publish(X)
+    return handle
+
+
+def rebinding_is_fine(X):
+    handle = SharedMatrix.publish(X)
+    X = X - X.mean()  # rebinding the name, not writing the buffer
+    return handle, X

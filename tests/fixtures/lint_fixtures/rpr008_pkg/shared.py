@@ -1,0 +1,16 @@
+"""A SharedMatrix whose publish method forgets to freeze the view."""
+
+import numpy as np
+
+
+class SharedMatrix:
+    def __init__(self, buf, shape):
+        self._buf = buf
+        self.shape = shape
+
+    @classmethod
+    def publish(cls, X):
+        view = np.empty(X.shape, dtype=X.dtype)
+        view[...] = X
+        # missing: view.flags.writeable = False
+        return cls(view, X.shape)

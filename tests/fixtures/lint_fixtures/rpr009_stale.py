@@ -1,0 +1,15 @@
+"""RPR009 fixture: live and stale suppression directives side by side."""
+
+import numpy as np
+
+
+def live_suppression():
+    return np.random.rand(3)  # repr: noqa RPR001 -- suppresses a real finding
+
+
+def stale_named(x):
+    return x + 1  # repr: noqa RPR001 -- nothing to suppress here
+
+
+def stale_blanket(x):
+    return x  # repr: noqa

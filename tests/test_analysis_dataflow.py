@@ -1,0 +1,231 @@
+"""Tests for the interprocedural dataflow core (repro.analysis.dataflow).
+
+Exercises each layer in isolation — symbol table resolution across
+imports and re-exports, per-function direct effect facts, and the
+transitive purity fixpoint — plus the property the whole design leans
+on: the fixpoint is the unique least solution, so traversal order
+(worklist seeding *and* file discovery order) cannot change it.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataflow import (
+    Project,
+    SymbolTable,
+    build_facts,
+    compute_summaries,
+)
+from repro.analysis.dataflow.effects import is_constant_name
+from repro.analysis.dataflow.fixpoint import (
+    Summary,
+    describe_impurity,
+    global_read_allowed,
+)
+from repro.analysis.dataflow.symbols import display_module, module_name_for
+from repro.analysis.engine import build_context
+
+# ----------------------------------------------------------------------
+# a small synthetic project used across the tests
+# ----------------------------------------------------------------------
+
+KERNELS_SRC = """\
+import numpy as np
+
+_state = {"hits": 0}
+TOL = 1e-12
+
+def leaf_mutator(a):
+    a[0] = 0.0
+    return a
+
+def leaf_reader(x):
+    _state["hits"] += 1
+    return x
+
+def middle(b, y):
+    return leaf_mutator(b) + leaf_reader(y)
+
+def top(c, z):
+    return middle(c, z)
+
+def pure(v):
+    w = v + TOL
+    return w * 2.0
+
+def numpy_writer(dst, src):
+    np.copyto(dst, src)
+
+def method_mutator(items):
+    items.sort()
+    return items
+
+def alias_mutator(m):
+    view = m.T
+    view += 1.0
+    return m
+
+def annotated(x: "_state") -> "_state":
+    return x
+"""
+
+FACADE_SRC = """\
+from .kernels import top, pure
+
+def facade_top(q, r):
+    return top(q, r)
+"""
+
+
+def make_contexts():
+    return [
+        build_context(Path("proj/kernels.py"), KERNELS_SRC),
+        build_context(Path("proj/facade.py"), FACADE_SRC),
+        build_context(Path("proj/__init__.py"),
+                      "from .facade import facade_top\n"),
+    ]
+
+
+def make_facts():
+    return build_facts(SymbolTable(make_contexts()))
+
+
+def summaries_by_suffix(summaries):
+    return {qual.split("::")[-1]: s for qual, s in summaries.items()}
+
+
+# ----------------------------------------------------------------------
+# symbol table
+# ----------------------------------------------------------------------
+
+def test_module_names_are_full_path_dotted():
+    assert module_name_for(("proj", "kernels.py")) == "proj.kernels"
+    assert module_name_for(("proj", "__init__.py")) == "proj"
+    assert display_module("src.repro.perf.cache") == "repro.perf.cache"
+
+
+def test_resolve_function_through_relative_import():
+    symtab = SymbolTable(make_contexts())
+    info = symtab.resolve_function("proj.kernels.top")
+    assert info is not None and info.name == "top"
+    # the facade imported `top`; resolution follows the import binding
+    assert symtab.resolve_function("proj.facade.top") is info
+
+
+def test_resolve_function_follows_reexport_chains():
+    symtab = SymbolTable(make_contexts())
+    # proj/__init__ re-exports facade_top from proj.facade
+    info = symtab.resolve_function("proj.facade_top")
+    assert info is not None
+    assert info.module == "proj.facade"
+
+
+# ----------------------------------------------------------------------
+# direct effect facts
+# ----------------------------------------------------------------------
+
+def test_direct_facts_see_each_mutation_flavour():
+    facts = {q.split("::")[-1]: f for q, f in make_facts().items()}
+    assert facts["leaf_mutator"].mutated_params() == frozenset({"a"})
+    assert facts["numpy_writer"].mutated_params() == frozenset({"dst"})
+    assert facts["method_mutator"].mutated_params() == frozenset({"items"})
+    # the write lands on a view alias but is charged to the parameter
+    assert facts["alias_mutator"].mutated_params() == frozenset({"m"})
+    assert facts["pure"].mutated_params() == frozenset()
+
+
+def test_global_reads_skip_constants_and_annotations():
+    facts = {q.split("::")[-1]: f for q, f in make_facts().items()}
+    reads = {name for _, name in facts["leaf_reader"].global_reads}
+    assert reads == {"_state"}
+    # ALL_CAPS constants are exempt by convention
+    assert facts["pure"].global_reads == frozenset()
+    # names appearing only in annotations are not state reads
+    assert facts["annotated"].global_reads == frozenset()
+    assert is_constant_name("TOL") and not is_constant_name("_state")
+
+
+# ----------------------------------------------------------------------
+# transitive fixpoint
+# ----------------------------------------------------------------------
+
+def test_fixpoint_propagates_mutation_and_reads_up_the_call_graph():
+    summaries = summaries_by_suffix(compute_summaries(make_facts()))
+    assert summaries["middle"].mutated == frozenset({"b"})
+    assert {n for _, n in summaries["middle"].global_reads} == {"_state"}
+    # two levels up, through a cross-module call
+    assert summaries["top"].mutated == frozenset({"c"})
+    assert summaries["facade_top"].mutated == frozenset({"q"})
+    assert {n for _, n in summaries["facade_top"].global_reads} == {"_state"}
+    assert summaries["pure"].mutated == frozenset()
+    assert summaries["pure"].global_reads == frozenset()
+
+
+def test_declared_out_params_are_sanctioned_but_still_propagate():
+    src = ("def segmental_columns(X, dims, out):\n"
+           "    out[...] = X\n"
+           "    return out\n"
+           "def caller(X, dims, buf):\n"
+           "    return segmental_columns(X, dims, out=buf)\n")
+    facts = build_facts(SymbolTable([build_context(Path("m.py"), src)]))
+    summaries = summaries_by_suffix(compute_summaries(facts))
+    seg = summaries["segmental_columns"]
+    # the declared out write does not convict the kernel itself...
+    assert seg.out_writes == frozenset({"out"})
+    assert seg.impure_params == frozenset()
+    # ...but a caller binding its own buffer into it is a mutator
+    assert summaries["caller"].mutated == frozenset({"buf"})
+
+
+def test_describe_impurity_and_allowlist_matching():
+    impure = Summary(mutated=frozenset({"a"}),
+                     global_reads=frozenset({("src.repro.obs.tracer",
+                                             "_current_tracer")}))
+    allow = frozenset({"repro.obs.tracer._current_tracer"})
+    assert global_read_allowed("src.repro.obs.tracer", "_current_tracer",
+                               allow)
+    assert not global_read_allowed("src.repro.perf.cache", "_current_tracer",
+                                   frozenset({"other.module.name"}))
+    # bare-name entries match in any module
+    assert global_read_allowed("anything", "_current_tracer",
+                               frozenset({"_current_tracer"}))
+    assert describe_impurity(impure, allow) == "mutates parameter(s) a"
+    assert describe_impurity(Summary(), allow) == ""
+
+
+# ----------------------------------------------------------------------
+# order independence (the property RPR007/008 soundness rests on)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_fixpoint_is_independent_of_worklist_order(seed):
+    facts = make_facts()
+    baseline = compute_summaries(facts)
+    order = sorted(facts)
+    np.random.default_rng(seed).shuffle(order)
+    assert compute_summaries(facts, order=order) == baseline
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_summaries_are_independent_of_file_discovery_order(seed):
+    contexts = make_contexts()
+    baseline = compute_summaries(build_facts(SymbolTable(contexts)))
+    perm = np.random.default_rng(seed).permutation(len(contexts))
+    shuffled = [contexts[i] for i in perm]
+    assert compute_summaries(build_facts(SymbolTable(shuffled))) == baseline
+
+
+def test_project_is_lazy_and_caches_layers():
+    project = Project(make_contexts())
+    assert project._symtab is None and project._summaries is None
+    first = project.summaries
+    assert project.summaries is first  # cached, not recomputed
+    qual = next(q for q in first if q.endswith("::top"))
+    assert project.summary_for(qual) is first[qual]
+    assert project.function(qual).name == "top"

@@ -1,9 +1,11 @@
 """Tests for the determinism & contract lint engine (repro.analysis).
 
-Covers: one seeded-violation fixture per rule RPR001-RPR006, clean-file
-negatives, ``# repr: noqa`` suppression, JSON output schema, CLI exit
-codes, and the self-check that the repository's own source tree is
-finding-free (the gate CI enforces).
+Covers: one seeded-violation fixture per rule RPR001-RPR009 (the
+interprocedural rules get whole fixture *packages*), clean-file
+negatives, ``# repr: noqa`` suppression and staleness, JSON output
+schema with 1-indexed columns, CLI exit codes, bit-stable output, and
+the self-check that the repository's own source tree is finding-free
+(the gate CI enforces).
 """
 
 import json
@@ -139,6 +141,67 @@ def test_rpr005_flags_lambda_nested_and_undeclared_worker_types():
     assert "undeclared type name(s): Socket" in messages
 
 
+def test_rpr007_convicts_impure_cached_producers_interprocedurally():
+    report = lint_paths([FIXTURES / "rpr007_pkg"], select=["RPR007"])
+    findings = report.findings
+    assert len(findings) == 4
+    assert all(f.rule == "RPR007" and f.severity == "error"
+               for f in findings)
+    assert all(f.path.endswith("cache.py") for f in findings)
+    by_line = {f.line: f for f in findings}
+    # direct producer reading mutable module state
+    assert "counted_distance" in by_line[30].message
+    assert "reads module global(s)" in by_line[30].message
+    assert "_call_log" in by_line[30].message
+    # producer mutating its array argument
+    assert "scale_rows" in by_line[36].message
+    assert "mutates parameter(s) X" in by_line[36].message
+    # impurity reached only through the call graph
+    assert "chained_distance" in by_line[42].message
+    assert "(transitively)" in by_line[42].message
+    # cached call site feeding a declared out-param buffer
+    assert "segmental_columns" in by_line[53].message
+    assert "out parameter 'out'" in by_line[53].message
+    # the pure producer contributes nothing
+    assert not any("pure_distance" in f.message for f in findings)
+
+
+def test_rpr008_flags_unfrozen_publish_and_post_publish_mutation():
+    report = lint_paths([FIXTURES / "rpr008_pkg"], select=["RPR008"])
+    findings = report.findings
+    assert len(findings) == 4
+    assert all(f.rule == "RPR008" for f in findings)
+    messages = "\n".join(f.message for f in findings)
+    assert "never write-protects the view" in messages
+    assert "mutated afterwards (via subscript assignment)" in messages
+    assert "mutated afterwards (via augmented assignment)" in messages
+    # the alias write is attributed to the view name, not the source
+    assert "'Y' was published" in messages
+    assert "mutates its 'X' parameter (transitively)" in messages
+    # pre-publish writes and name rebinding stay legal
+    assert not any(f.line >= 33 for f in findings
+                   if f.path.endswith("fanout.py"))
+
+
+def test_rpr009_flags_stale_directives_and_keeps_live_ones():
+    findings = lint_file(FIXTURES / "rpr009_stale.py", select=["RPR009"])
+    assert [(f.line, f.col) for f in findings] == [(11, 19), (15, 15)]
+    assert "'# repr: noqa RPR001'" in findings[0].message
+    assert "'# repr: noqa'" in findings[1].message
+    # the live directive on line 7 is not reported, and the RPR001 it
+    # suppresses stays suppressed under a full-registry run
+    full = lint_file(FIXTURES / "rpr009_stale.py")
+    assert rules_of(full) == {"RPR009"}
+    assert all(f.line in (11, 15) for f in full)
+
+
+def test_rpr009_findings_cannot_be_self_suppressed():
+    src = ("def f(x):\n"
+           "    return x  # repr: noqa\n")
+    findings = lint_source(src, "mod.py")
+    assert rules_of(findings) == {"RPR009"}
+
+
 # ----------------------------------------------------------------------
 # negatives: clean files, suppression, thread pools
 # ----------------------------------------------------------------------
@@ -162,7 +225,11 @@ def test_noqa_for_a_different_rule_does_not_suppress():
     src = ("import numpy as np\n"
            "def f():\n"
            "    return np.random.rand(3)  # repr: noqa RPR005\n")
-    assert rules_of(lint_source(src, "mod.py")) == {"RPR001"}
+    findings = lint_source(src, "mod.py")
+    # RPR001 still fires, and the mistargeted directive is itself stale
+    assert rules_of(findings) == {"RPR001", "RPR009"}
+    assert rules_of(lint_source(src, "mod.py", select=["RPR001"])) == \
+        {"RPR001"}
 
 
 def test_thread_pool_lambdas_are_exempt_from_rpr005():
@@ -207,10 +274,30 @@ def test_syntax_error_fails_the_gate():
         lint_source("def broken(:\n", "mod.py")
 
 
-def test_registry_lists_all_six_rules():
+def test_registry_lists_all_nine_rules():
     assert rule_ids() == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                          "RPR006"]
-    assert len(ALL_RULES) == 6
+                          "RPR006", "RPR007", "RPR008", "RPR009"]
+    assert len(ALL_RULES) == 9
+
+
+def test_select_accepts_comma_separated_rule_lists():
+    findings = lint_file(FIXTURES / "rpr009_stale.py",
+                         select=["RPR001,RPR009"])
+    assert rules_of(findings) == {"RPR009"}
+    # mixed comma/space chunks normalise identically
+    same = lint_file(FIXTURES / "rpr009_stale.py",
+                     select=["rpr001", "RPR009"])
+    assert findings == same
+
+
+def test_select_with_unknown_id_in_comma_list_raises():
+    with pytest.raises(ParameterError, match="unknown rule id"):
+        lint_source("x = 1\n", "mod.py", select=["RPR001,RPR042"])
+
+
+def test_select_with_only_separators_raises():
+    with pytest.raises(ParameterError, match="names no rule ids"):
+        lint_source("x = 1\n", "mod.py", select=[" , "])
 
 
 def test_contract_table_matches_real_cache_methods():
@@ -236,8 +323,25 @@ def test_json_output_schema():
                                 "message", "hint"}
         assert finding["rule"] == "RPR001"
         assert finding["severity"] == "error"
-        assert finding["line"] >= 1 and finding["col"] >= 1
+        assert isinstance(finding["col"], int)
         assert finding["path"].endswith("rpr001_global_rng.py")
+    # columns are exact 1-indexed offsets of the offending expression,
+    # stable enough for editors to jump to
+    coords = [(f["line"], f["col"]) for f in payload["findings"]]
+    assert coords == [(9, 5), (10, 12), (11, 5), (12, 11)]
+
+
+def test_noqa_directive_columns_point_at_the_hash():
+    findings = lint_file(FIXTURES / "rpr009_stale.py", select=["RPR009"])
+    src_lines = (FIXTURES / "rpr009_stale.py").read_text().splitlines()
+    for f in findings:
+        assert src_lines[f.line - 1][f.col - 1] == "#"
+
+
+def test_lint_output_is_bit_stable_across_runs():
+    first = format_json(lint_paths([FIXTURES], select=None))
+    second = format_json(lint_paths([FIXTURES], select=None))
+    assert first == second
 
 
 def test_cli_lint_exits_nonzero_on_findings(capsys):
@@ -256,8 +360,22 @@ def test_cli_lint_select_restricts_rules(capsys):
     assert set(payload["counts"]) == {"RPR002"}
 
 
+def test_cli_lint_select_accepts_comma_lists(capsys):
+    code = cli_main(["lint", str(FIXTURES / "rpr009_stale.py"),
+                     "--select", "RPR001,RPR009", "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["counts"]) == {"RPR009"}
+
+
 def test_cli_lint_unknown_rule_is_a_usage_error(capsys):
     code = cli_main(["lint", str(FIXTURES), "--select", "RPR042"])
+    assert code == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_lint_unknown_rule_in_comma_list_is_a_usage_error(capsys):
+    code = cli_main(["lint", str(FIXTURES), "--select", "RPR001,RPR042"])
     assert code == 2
     assert "unknown rule id" in capsys.readouterr().err
 
