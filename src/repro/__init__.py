@@ -29,10 +29,21 @@ Quickstart::
 
 from __future__ import annotations
 
-from .core import Proclus, ProclusConfig, ProclusResult, proclus
+from .core import (
+    PredictReport,
+    Proclus,
+    ProclusConfig,
+    ProclusResult,
+    load_result,
+    predict_points,
+    proclus,
+    result_fingerprint,
+    save_result,
+)
 from .data import Dataset, OUTLIER_LABEL, SyntheticConfig, generate
 from .exceptions import (
     BudgetExceededError,
+    CheckpointError,
     ConvergenceWarning,
     DataError,
     DegenerateDataError,
@@ -40,6 +51,7 @@ from .exceptions import (
     ParameterError,
     ReproError,
     SanitizationWarning,
+    ServeError,
 )
 from .obs import Tracer, get_tracer, use_tracer
 from .robustness import FaultPlan, SanitizationReport, sanitize
@@ -51,6 +63,11 @@ __all__ = [
     "proclus",
     "ProclusConfig",
     "ProclusResult",
+    "PredictReport",
+    "predict_points",
+    "save_result",
+    "load_result",
+    "result_fingerprint",
     "Dataset",
     "OUTLIER_LABEL",
     "SyntheticConfig",
@@ -67,6 +84,8 @@ __all__ = [
     "DegenerateDataError",
     "NotFittedError",
     "BudgetExceededError",
+    "CheckpointError",
+    "ServeError",
     "ConvergenceWarning",
     "SanitizationWarning",
     "__version__",

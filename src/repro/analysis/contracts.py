@@ -88,15 +88,18 @@ SHAREABLE_TYPE_NAMES: FrozenSet[str] = frozenset({
     # numpy values (arrays and Generators pickle by state); "random" is
     # the module path component in ``np.random.Generator`` annotations
     "np", "numpy", "random", "ndarray", "Generator", "SeedLike",
-    # frozen value dataclass shipped to supervised fan-out workers
-    # (repro.robustness.faults.ProcessFaultSpec: plain scalars only)
-    "ProcessFaultSpec",
+    # frozen value dataclasses shipped to supervised fan-out workers /
+    # serve chaos harnesses (repro.robustness.faults: plain scalars only)
+    "ProcessFaultSpec", "ServeFaultSpec",
 })
 
 #: Directories whose files RPR002 guards: the numeric core, where a
 #: wall-clock read or unordered-set iteration feeding a result value
-#: breaks serial/parallel and cached/uncached bit-identity.
-DETERMINISM_SCOPED_DIRS: Tuple[str, ...] = ("core", "perf", "distance")
+#: breaks serial/parallel and cached/uncached bit-identity — plus the
+#: serving layer, whose labels must be bit-identical to the fit path
+#: (all serve timing goes through ``repro.obs.clock`` / ``Deadline``).
+DETERMINISM_SCOPED_DIRS: Tuple[str, ...] = ("core", "perf", "distance",
+                                            "serve")
 
 #: File basenames RPR004 treats as public API surface in addition to
 #: any file under a ``core`` directory.

@@ -41,7 +41,8 @@ _BUILTIN_EXCEPTIONS = frozenset({
 
 
 def _in_scope(ctx: FileContext) -> bool:
-    if ctx.in_dirs("core") or ctx.basename == "cli.py":
+    if (ctx.in_dirs("core") or ctx.in_dirs("serve")
+            or ctx.basename == "cli.py"):
         return True
     # the package root __init__ (repro/__init__.py), not every package's
     return (ctx.basename == "__init__.py"

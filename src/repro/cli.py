@@ -18,6 +18,14 @@ Subcommands
 ``experiment``
     Run a registered paper experiment (``table1`` .. ``table5``,
     ``fig7`` .. ``fig9``, ablations) and print its report.
+``serve``
+    Start the hardened query server on a saved model (``cluster
+    --save-model``): per-request deadlines, 429 load shedding, a
+    per-model circuit breaker, and SIGTERM graceful drain (see
+    ``docs/serving.md``).
+``predict``
+    Assign the points of a CSV dataset to a saved model locally (no
+    server) and print/write the labels.
 ``lint``
     Run the determinism & contract lint gate (rules RPR001-RPR009)
     over source trees; exits nonzero on any finding.
@@ -133,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["DEBUG", "INFO", "WARNING", "ERROR"],
                    help="emit tracer phases/events through stdlib "
                         "logging at this level to stderr")
+    c.add_argument("--save-model", default=None, metavar="PATH",
+                   help="save the fitted result atomically (temp file + "
+                        "rename, sha256-fingerprinted) for `serve` / "
+                        "`predict`")
 
     s = sub.add_parser("sweep", help="sweep l (and k) to pick parameters")
     s.add_argument("input")
@@ -178,6 +190,79 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the experiment's config grid concurrently "
                         "(experiments that accept n_jobs only; timings "
                         "of concurrent configs share the machine)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve predict queries from a saved model over HTTP",
+        description="Hardened query server: per-request wall-clock "
+                    "deadlines threaded into the predict kernel, bounded "
+                    "admission with 429 shedding, a per-model circuit "
+                    "breaker, /healthz + /readyz probes, hot reload, and "
+                    "SIGINT/SIGTERM graceful drain (second signal "
+                    "hard-exits 130).  See docs/serving.md.",
+    )
+    sv.add_argument("model", help="saved result (`cluster --save-model`)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8437,
+                    help="TCP port (0 picks a free one; default 8437)")
+    sv.add_argument("--max-points", type=int, default=100_000,
+                    help="largest query batch accepted (default 100000)")
+    sv.add_argument("--deadline-s", type=float, default=10.0,
+                    help="default per-request wall-clock budget when the "
+                         "client sends no X-Deadline-S header")
+    sv.add_argument("--max-deadline-s", type=float, default=60.0,
+                    help="cap on client-requested deadlines")
+    sv.add_argument("--max-concurrency", type=int, default=4,
+                    help="predict batches allowed in the kernel at once")
+    sv.add_argument("--max-queue", type=int, default=16,
+                    help="requests allowed to wait for a slot before "
+                         "shedding with 429")
+    sv.add_argument("--breaker-threshold", type=int, default=5,
+                    help="consecutive kernel failures that open the "
+                         "circuit breaker")
+    sv.add_argument("--breaker-reset-s", type=float, default=30.0,
+                    help="seconds the breaker stays open before a "
+                         "half-open probe")
+    sv.add_argument("--drain-s", type=float, default=10.0,
+                    help="budget for in-flight requests to finish after "
+                         "the first SIGINT/SIGTERM")
+    sv.add_argument("--on-bad-values", default="raise",
+                    choices=["raise", "drop", "impute_median", "clip"],
+                    help="default NaN/inf policy for query batches "
+                         "(default: raise -> HTTP 400)")
+    sv.add_argument("--chunk-size", type=int, default=None,
+                    help="predict kernel row-chunk override")
+    sv.add_argument("--memory-budget-mb", type=float, default=None,
+                    help="kernel scratch budget per batch, in MiB")
+    sv.add_argument("--trace-file", default=None, metavar="PATH",
+                    help="write the serve.* span/counter trace as JSON "
+                         "Lines to PATH on shutdown")
+
+    p = sub.add_parser(
+        "predict",
+        help="assign CSV points to a saved model locally",
+        description="Runs the inference core directly (no server): "
+                    "Manhattan segmental distance to each medoid over "
+                    "its cluster's dimension set, sphere-of-influence "
+                    "outlier flagging.  predict on the training CSV "
+                    "reproduces the fitted labels bit-identically.",
+    )
+    p.add_argument("model", help="saved result (`cluster --save-model`)")
+    p.add_argument("input", help="CSV file of query points")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write one label per line to PATH (default: "
+                        "print a summary only)")
+    p.add_argument("--on-bad-values", default="raise",
+                   choices=["raise", "drop", "impute_median", "clip"],
+                   help="NaN/inf policy for the query points "
+                        "(default: raise)")
+    p.add_argument("--no-outliers", action="store_true",
+                   help="skip the sphere-of-influence outlier rule; "
+                        "every point gets its nearest medoid's label")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="kernel row-chunk override")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="wall-clock budget for the whole batch")
 
     ln = sub.add_parser(
         "lint",
@@ -280,6 +365,11 @@ def _cmd_cluster(args) -> int:
     if tracer is not None and args.trace_file:
         path = tracer.write_jsonl(args.trace_file)
         print(f"trace written to {path}")
+    if args.save_model is not None:
+        from .core.serialization import result_fingerprint, save_result
+        model_path = save_result(result, args.save_model)
+        print(f"model saved to {model_path} "
+              f"(fingerprint {result_fingerprint(model_path)[:12]})")
     print(result.summary())
     if args.profile and result.profile is not None:
         print()
@@ -356,6 +446,67 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from contextlib import ExitStack
+
+    from .obs import Tracer, use_tracer
+    from .serve import ProclusServer, ServerConfig
+
+    budget = args.memory_budget_mb
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_points=args.max_points,
+        default_deadline_s=args.deadline_s,
+        max_deadline_s=args.max_deadline_s,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s,
+        drain_s=args.drain_s,
+        on_bad_values=args.on_bad_values,
+        chunk_size=args.chunk_size,
+        memory_budget_bytes=None if budget is None else int(budget * 2**20),
+    )
+    tracer = Tracer() if args.trace_file else None
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        server = ProclusServer(config, model_path=args.model)
+        code = server.run()
+    if tracer is not None and args.trace_file:
+        path = tracer.write_jsonl(args.trace_file)
+        print(f"trace written to {path}")
+    return code
+
+
+def _cmd_predict(args) -> int:
+    from .core.serialization import load_result
+    from .robustness.guards import Deadline
+
+    result = load_result(args.model)
+    ds = load_csv(args.input, allow_nonfinite=args.on_bad_values != "raise")
+    report = result.predict_report(
+        ds.points,
+        handle_outliers=not args.no_outliers,
+        on_bad_values=args.on_bad_values,
+        chunk_size=args.chunk_size,
+        deadline=Deadline.start(args.deadline_s),
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.writelines(f"{label}\n" for label in report.labels)
+        print(f"labels written to {args.output}")
+    print(f"predicted {report.n_points} points with k={result.k} model "
+          f"({result.medoids.dtype}): {report.n_outliers} outliers")
+    for message in report.warnings:
+        print(f"note: {message}")
+    if ds.has_ground_truth and report.n_points == ds.n_points:
+        print(f"adjusted Rand index = "
+              f"{adjusted_rand_index(report.labels, ds.labels):.3f}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis.cli import run_lint
     return run_lint(args)
@@ -379,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "orclus": _cmd_orclus,
         "stability": _cmd_stability,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "predict": _cmd_predict,
         "lint": _cmd_lint,
         "list": _cmd_list,
     }

@@ -49,10 +49,11 @@ from .greedy import greedy_select
 from .initialization import initialize_medoid_pool
 from .iterative import IterationRecord, IterativePhaseResult, run_iterative_phase
 from .objective import evaluate_clusters
+from .predict import PredictReport, predict_points
 from .proclus import Proclus, proclus
 from .refinement import refine_clusters
 from .result import ProclusResult
-from .serialization import load_result, save_result
+from .serialization import load_result, result_fingerprint, save_result
 from .tuning import SweepResult, sweep_k, sweep_l
 
 __all__ = [
@@ -81,8 +82,11 @@ __all__ = [
     "CacheReport",
     "parallel_report",
     "ParallelReport",
+    "predict_points",
+    "PredictReport",
     "save_result",
     "load_result",
+    "result_fingerprint",
     "sweep_l",
     "sweep_k",
     "SweepResult",

@@ -1,0 +1,334 @@
+"""Assign *new* points to a fitted PROCLUS clustering (the predict path).
+
+The paper fits a clustering once over a database; a production system
+then has to answer "which projected cluster does this fresh record
+belong to?" continuously, without refitting.  This module is that
+inference core, shared by
+:meth:`repro.core.result.ProclusResult.predict` and the hardened query
+server in :mod:`repro.serve`.
+
+Semantics mirror the refinement phase (paper section 2.3) exactly:
+
+* every query point is assigned to the medoid with the smallest
+  **Manhattan segmental distance** measured in that medoid's own
+  dimension set ``D_i``;
+* a point is an **outlier** (label ``-1``) when its segmental distance
+  to every medoid ``i`` exceeds that medoid's *sphere of influence*
+  ``Delta_i = min_{j != i} d_{D_i}(m_i, m_j)`` — the same strict ``>``
+  rule the refinement pass applies.
+
+Because the distance kernel, the spheres, and the argmin tie-break are
+the ones the fit itself used, ``predict(X_train)`` on a clean fit is
+**bit-identical** to ``result.labels`` — across working dtypes, cache
+on/off, and serial/parallel fits (test-enforced).  Queries run through
+the chunked memory-budget kernel, compute natively in the fitted
+working dtype, and honour an optional per-call wall-clock
+:class:`~repro.robustness.guards.Deadline`: when the budget expires
+mid-batch the partial result is *discarded* and a typed
+:class:`~repro.exceptions.BudgetExceededError` is raised — a serving
+layer must never return half-assigned batches as if they were whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Dict, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+import numpy as np
+
+from ..data.dataset import OUTLIER_LABEL
+from ..exceptions import DegenerateDataError, ParameterError
+from ..obs import get_tracer
+from ..perf.kernels import segmental_columns
+from ..robustness.guards import Deadline
+from ..validation import check_array, check_positive_int
+from .refinement import detect_outliers, spheres_of_influence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..robustness.sanitize import SanitizationReport
+
+__all__ = ["PredictReport", "predict_points", "normalize_dimension_sets",
+           "DEFAULT_PREDICT_CHUNK"]
+
+#: Row-chunk granularity of the predict loop.  Chunk boundaries never
+#: change a bit of the output (segment reductions are row-independent);
+#: they bound peak memory and set how often the deadline is polled.
+DEFAULT_PREDICT_CHUNK: int = 8192
+
+DimensionSets = Union[Mapping[int, Sequence[int]], Sequence[Sequence[int]]]
+
+
+@dataclass
+class PredictReport:
+    """Labels and diagnostics for one predict batch.
+
+    Attributes
+    ----------
+    labels:
+        ``(n_points,)`` int64 array of cluster ids ``0..k-1`` or ``-1``
+        for outliers, in the *caller's* row order (rows a sanitization
+        policy dropped are labelled ``-1``).
+    n_points / n_outliers:
+        Batch size (original rows) and how many rows ended up labelled
+        ``-1``.
+    spheres:
+        The per-medoid spheres of influence used for the outlier test
+        (``inf`` for ``k == 1``: a lone medoid rejects nothing).
+    sanitization:
+        The :class:`~repro.robustness.sanitize.SanitizationReport` when
+        a non-``"raise"`` bad-value policy inspected the batch, else
+        ``None``.
+    distances:
+        The ``(n_clean, k)`` segmental-distance matrix when
+        ``return_distances=True`` was requested, else ``None`` (row
+        order follows the sanitized matrix, not the caller's).
+    warnings:
+        Human-readable notes (sanitization modifications, degenerate
+        batches); the serving layer forwards these in the response body.
+    """
+
+    labels: np.ndarray
+    n_points: int
+    n_outliers: int
+    spheres: np.ndarray
+    sanitization: Optional["SanitizationReport"] = None
+    distances: Optional[np.ndarray] = None
+    warnings: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (the wire shape the query server returns)."""
+        return {
+            "labels": [int(v) for v in self.labels],
+            "n_points": int(self.n_points),
+            "n_outliers": int(self.n_outliers),
+            "warnings": list(self.warnings),
+        }
+
+
+def normalize_dimension_sets(dimensions: DimensionSets, k: int,
+                             d: int) -> List[Tuple[int, ...]]:
+    """Validate and order per-cluster dimension sets for ``k`` medoids.
+
+    Accepts the :attr:`ProclusResult.dimensions` mapping (cluster id ->
+    dims) or a plain sequence; returns one sorted tuple per cluster id
+    ``0..k-1``.  Missing ids, empty sets, or out-of-range dimension
+    indices raise :class:`~repro.exceptions.ParameterError`.
+    """
+    ordered: List[Sequence[int]]
+    if isinstance(dimensions, Mapping):
+        try:
+            ordered = [dimensions[i] for i in range(k)]
+        except KeyError as exc:
+            raise ParameterError(
+                f"dimensions mapping is missing cluster id {exc} "
+                f"(need ids 0..{k - 1})"
+            )
+    else:
+        ordered = list(dimensions)
+        if len(ordered) != k:
+            raise ParameterError(
+                f"need one dimension set per medoid; got {len(ordered)} "
+                f"for k={k}"
+            )
+    out: List[Tuple[int, ...]] = []
+    for cid, dims in enumerate(ordered):
+        dim_tuple = tuple(sorted(int(j) for j in dims))
+        if not dim_tuple:
+            raise ParameterError(f"cluster {cid} has an empty dimension set")
+        if dim_tuple[0] < 0 or dim_tuple[-1] >= d:
+            raise ParameterError(
+                f"cluster {cid} has dimension indices outside [0, {d - 1}]: "
+                f"{list(dim_tuple)}"
+            )
+        out.append(dim_tuple)
+    return out
+
+
+def _coerce_queries(X: Any, d: int, dtype: np.dtype,
+                    max_points: Optional[int]) -> np.ndarray:
+    """Shape/size-validate a query batch into fitted-dtype matrix form.
+
+    Every rejection is a typed :class:`~repro.exceptions.ParameterError`
+    so the serving layer can map it to a structured HTTP 400 — a
+    malformed query must never surface as an internal error.  Content
+    (NaN/inf) is *not* checked here; that is the bad-value policy's job.
+    """
+    try:
+        arr = np.asarray(X, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"query batch is not numeric matrix data: {exc}")
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ParameterError(
+            "query batch must be 2-dimensional (n_points, d); got "
+            f"ndim={arr.ndim}"
+        )
+    if arr.shape[0] == 0:
+        raise ParameterError("query batch is empty")
+    if arr.shape[1] != d:
+        raise ParameterError(
+            f"query batch has {arr.shape[1]} dimension(s); the fitted "
+            f"model expects d={d}"
+        )
+    if max_points is not None:
+        check_positive_int(max_points, name="max_points", minimum=1)
+        if arr.shape[0] > max_points:
+            raise ParameterError(
+                f"query batch has {arr.shape[0]} points; at most "
+                f"{max_points} are accepted per request"
+            )
+    return np.ascontiguousarray(arr)
+
+
+def predict_points(
+    X: Any,
+    medoids: np.ndarray,
+    dimensions: DimensionSets,
+    *,
+    handle_outliers: bool = True,
+    spheres: Optional[np.ndarray] = None,
+    on_bad_values: str = "raise",
+    max_points: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
+    return_distances: bool = False,
+) -> PredictReport:
+    """Assign a batch of new points to a fitted projected clustering.
+
+    Parameters
+    ----------
+    X:
+        Query batch ``(n, d)`` (a single ``(d,)`` point is accepted and
+        treated as one row).
+    medoids, dimensions:
+        The fitted model: medoid coordinates ``(k, d)`` in the fitted
+        working dtype, and per-cluster dimension sets (the
+        :attr:`ProclusResult.dimensions` mapping or a sequence).
+    handle_outliers:
+        Apply the refinement phase's sphere-of-influence rule and label
+        rejected points ``-1``.  Disable for fits that ran with
+        ``handle_outliers=False``, whose training labels were produced
+        without the rule.
+    spheres:
+        Precomputed spheres of influence (one per medoid).  ``None``
+        recomputes them from the model — a server computes them once at
+        model-load time and passes them in on every request.
+    on_bad_values:
+        NaN/inf policy for the *queries*: ``"raise"`` (default) rejects
+        the batch with :class:`~repro.exceptions.ParameterError`;
+        ``"drop"`` labels affected rows ``-1``; ``"impute_median"`` /
+        ``"clip"`` repair cells from the batch's own column statistics.
+    max_points:
+        Reject batches larger than this (request-size admission for the
+        serving layer).
+    chunk_size:
+        Rows per kernel call (default :data:`DEFAULT_PREDICT_CHUNK`).
+        Never changes the output bits; bounds memory and sets the
+        deadline polling granularity.
+    memory_budget_bytes:
+        Forwarded to the segmental kernel's internal row-chunking guard.
+    deadline:
+        Optional wall-clock budget.  Expiry *between* chunks discards
+        the partial batch and raises
+        :class:`~repro.exceptions.BudgetExceededError` — the caller
+        gets all assignments or none.
+    return_distances:
+        Also keep the full ``(n_clean, k)`` distance matrix on the
+        report.
+
+    Returns
+    -------
+    PredictReport
+        Labels in the caller's row order plus diagnostics.
+    """
+    medoid_arr = check_array(medoids, name="medoids")
+    k, d = int(medoid_arr.shape[0]), int(medoid_arr.shape[1])
+    dim_sets = normalize_dimension_sets(dimensions, k, d)
+
+    if spheres is None:
+        sphere_arr = spheres_of_influence(medoid_arr, dim_sets)
+    else:
+        sphere_arr = np.asarray(spheres, dtype=medoid_arr.dtype)
+        if sphere_arr.shape != (k,):
+            raise ParameterError(
+                f"spheres must have shape ({k},); got {sphere_arr.shape}")
+
+    queries = _coerce_queries(X, d, medoid_arr.dtype, max_points)
+    n_original = int(queries.shape[0])
+    report: Optional["SanitizationReport"] = None
+    if on_bad_values == "raise":
+        if not bool(np.isfinite(queries).all()):
+            raise ParameterError(
+                "query batch contains NaN or infinite values; pass "
+                "on_bad_values='drop', 'impute_median', or 'clip' to "
+                "sanitize"
+            )
+    else:
+        from ..robustness.sanitize import sanitize
+
+        try:
+            queries, report = sanitize(
+                queries, on_bad_values=on_bad_values,
+                collapse_duplicates=False, detect_constant_dims=False,
+                warn=False, dtype=medoid_arr.dtype)
+        except DegenerateDataError:
+            # every row was dropped by the policy: nothing to assign —
+            # the whole batch is outliers by construction, not an error
+            return PredictReport(
+                labels=np.full(n_original, OUTLIER_LABEL, dtype=np.int64),
+                n_points=n_original,
+                n_outliers=n_original,
+                spheres=sphere_arr,
+                warnings=["every query row was dropped by the bad-value "
+                          "policy; the whole batch is labelled -1"],
+            )
+
+    n = int(queries.shape[0])
+    if chunk_size is None:
+        step = min(DEFAULT_PREDICT_CHUNK, n)
+    else:
+        step = min(check_positive_int(chunk_size, name="chunk_size",
+                                      minimum=1), n)
+    tracer = get_tracer()
+    dist = np.empty((n, k), dtype=queries.dtype)
+    with tracer.span("predict", n_points=n, k=k) as span:
+        for start in range(0, n, step):
+            if deadline is not None:
+                deadline.check("predict")
+            block = queries[start:start + step]
+            segmental_columns(
+                block, medoid_arr, dim_sets,
+                memory_budget_bytes=memory_budget_bytes,
+                out=dist[start:start + block.shape[0]],
+            )
+        if deadline is not None:
+            deadline.check("predict")
+        clean_labels = np.argmin(dist, axis=1).astype(np.int64)
+        if handle_outliers:
+            outlier_mask = detect_outliers(dist, sphere_arr)
+            clean_labels[outlier_mask] = OUTLIER_LABEL
+        span.set(n_outliers=int(np.count_nonzero(
+            clean_labels == OUTLIER_LABEL)))
+
+    warnings: List[str] = []
+    if report is not None and report.changed:
+        labels = report.restore_labels(clean_labels, fill=OUTLIER_LABEL)
+        warnings.extend(report.messages)
+    else:
+        labels = clean_labels
+    n_outliers = int(np.count_nonzero(labels == OUTLIER_LABEL))
+    if tracer.enabled:
+        tracer.count("predict.points", n_original)
+        tracer.count("predict.outliers", n_outliers)
+    return PredictReport(
+        labels=labels,
+        n_points=n_original,
+        n_outliers=n_outliers,
+        spheres=sphere_arr,
+        sanitization=report,
+        distances=dist if return_distances else None,
+        warnings=warnings,
+    )

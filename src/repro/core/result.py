@@ -9,14 +9,16 @@ diagnostics.  The experiment harness consumes these objects directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.dataset import OUTLIER_LABEL
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..robustness.guards import Deadline
     from ..robustness.sanitize import SanitizationReport
+    from .predict import PredictReport
 
 __all__ = ["ProclusResult"]
 
@@ -164,6 +166,49 @@ class ProclusResult:
         if not self.dimensions:
             return 0.0
         return float(np.mean([len(d) for d in self.dimensions.values()]))
+
+    def predict(self, X: Any, *, handle_outliers: bool = True,
+                on_bad_values: str = "raise",
+                chunk_size: Optional[int] = None,
+                memory_budget_bytes: Optional[int] = None,
+                deadline: Optional["Deadline"] = None) -> np.ndarray:
+        """Assign new points to this fitted clustering; labels only.
+
+        The paper's refinement-phase semantics applied to unseen data:
+        Manhattan segmental distance to each medoid in its own dimension
+        set, argmin assignment, and (with ``handle_outliers``) the
+        sphere-of-influence outlier rule.  On the training matrix of a
+        clean fit this reproduces :attr:`labels` bit-identically.  See
+        :func:`repro.core.predict.predict_points` for the full knob set
+        and :meth:`predict_report` for per-batch diagnostics.
+        """
+        return self.predict_report(
+            X, handle_outliers=handle_outliers, on_bad_values=on_bad_values,
+            chunk_size=chunk_size, memory_budget_bytes=memory_budget_bytes,
+            deadline=deadline).labels
+
+    def predict_report(self, X: Any, *, handle_outliers: bool = True,
+                       spheres: Optional[np.ndarray] = None,
+                       on_bad_values: str = "raise",
+                       max_points: Optional[int] = None,
+                       chunk_size: Optional[int] = None,
+                       memory_budget_bytes: Optional[int] = None,
+                       deadline: Optional["Deadline"] = None,
+                       return_distances: bool = False) -> "PredictReport":
+        """:meth:`predict` plus diagnostics (outlier count, spheres, ...).
+
+        Thin delegation to :func:`repro.core.predict.predict_points`
+        with this result's medoids and dimension sets; all keyword
+        arguments are forwarded.
+        """
+        from .predict import predict_points
+
+        return predict_points(
+            X, self.medoids, self.dimensions,
+            handle_outliers=handle_outliers, spheres=spheres,
+            on_bad_values=on_bad_values, max_points=max_points,
+            chunk_size=chunk_size, memory_budget_bytes=memory_budget_bytes,
+            deadline=deadline, return_distances=return_distances)
 
     def to_dict(self) -> dict:
         """JSON-friendly summary (labels omitted; sizes included)."""

@@ -17,6 +17,7 @@ __all__ = [
     "NotFittedError",
     "BudgetExceededError",
     "CheckpointError",
+    "ServeError",
     "ConvergenceWarning",
     "SanitizationWarning",
 ]
@@ -66,6 +67,19 @@ class CheckpointError(ReproError, RuntimeError):
     parameters) — resuming from it would silently change results.
     Corrupt *per-restart* payload files are handled more gently: they
     are discarded and recomputed, never raised.
+    """
+
+
+class ServeError(ReproError, RuntimeError):
+    """The model-serving layer could not complete a request.
+
+    Raised by the query server for serving-specific failures (no model
+    loaded, open circuit breaker observed at dispatch) and by the
+    retrying client when a request exhausts its retry budget or total
+    deadline.  Validation problems keep their own types
+    (:class:`ParameterError` / :class:`DataError`), as do expired
+    per-request budgets (:class:`BudgetExceededError`) — this class
+    covers the transport and availability failures unique to serving.
     """
 
 

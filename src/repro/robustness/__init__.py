@@ -27,8 +27,12 @@ heavyweight modules at import time — :mod:`.fallback` defers its
 ``baselines``/``core`` imports to call time.
 """
 
+from .atomicio import atomic_write
 from .faults import (
     PROCESS_FAULT_KINDS,
+    SERVE_FAULT_KINDS,
+    ServeFaultSpec,
+    apply_serve_fault,
     Fault,
     FaultPlan,
     ProcessFaultSpec,
@@ -63,6 +67,10 @@ from .supervisor import (
 )
 
 __all__ = [
+    "atomic_write",
+    "SERVE_FAULT_KINDS",
+    "ServeFaultSpec",
+    "apply_serve_fault",
     "sanitize",
     "SanitizationReport",
     "BAD_VALUE_POLICIES",

@@ -1,0 +1,55 @@
+"""Atomic file writes: the write-temp-then-``os.replace`` seam.
+
+Both the fault-tolerant supervisor (checkpoint manifests and payloads)
+and the model serialization layer (:mod:`repro.core.serialization`)
+persist artifacts that another process may load at any moment — a
+resumed run, or a serving daemon hot-reloading its model.  A plain
+``open(path, "wb")`` can tear: a crash mid-write leaves a truncated
+file that *looks* present, and a reader that trusts it serves garbage.
+
+:func:`atomic_write` closes that window.  The payload is written to a
+temporary sibling in the same directory (same filesystem, so the final
+rename cannot cross a device boundary) and moved into place with
+``os.replace``, which POSIX guarantees to be atomic: a concurrent
+reader observes either the complete old file or the complete new file,
+never a mixture.  On failure the temporary file is removed and the
+destination is untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["atomic_write"]
+
+PathLike = Union[str, Path]
+
+
+@contextmanager
+def atomic_write(path: PathLike, *, suffix: str = ".tmp") -> Iterator[Path]:
+    """Yield a temporary sibling path; publish it to ``path`` on success.
+
+    The caller writes the complete payload to the yielded path.  When
+    the block exits cleanly the temporary file replaces ``path``
+    atomically; when it raises, the temporary file is deleted and the
+    exception propagates with the destination unchanged.
+
+    The temporary name embeds the process id so concurrent writers in
+    different processes (e.g. two checkpointing runs pointed at the same
+    directory by mistake) cannot corrupt each other's staging file; the
+    last ``os.replace`` still wins, as with any same-path race.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}{suffix}.{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise

@@ -50,6 +50,9 @@ __all__ = [
     "PROCESS_FAULT_KINDS",
     "ProcessFaultSpec",
     "apply_process_fault",
+    "SERVE_FAULT_KINDS",
+    "ServeFaultSpec",
+    "apply_serve_fault",
 ]
 
 
@@ -225,6 +228,65 @@ def apply_process_fault(fault: Optional[ProcessFaultSpec], index: int,
     if fault.kind == "hang":
         time.sleep(fault.hang_s)
     return fault.kind == "corrupt"
+
+
+# ----------------------------------------------------------------------
+# Serving-path faults (query-server predict kernel)
+# ----------------------------------------------------------------------
+
+#: Kernel pathologies the serving chaos suite injects per request.
+SERVE_FAULT_KINDS: Tuple[str, ...] = ("kernel_error", "kernel_hang")
+
+
+@dataclass(frozen=True)
+class ServeFaultSpec:
+    """A deterministic predict-kernel fault in the query server.
+
+    Fires on :attr:`times` consecutive predict requests starting at
+    request ordinal :attr:`first` (ordinals count kernel dispatches —
+    requests past both admission and the circuit breaker — starting
+    at 0).  ``kernel_error`` raises an *untyped*
+    ``RuntimeError`` from inside the kernel — the unexpected-crash class
+    the circuit breaker exists for; ``kernel_hang`` sleeps for
+    :attr:`hang_s` seconds, the slow-dependency scenario the per-request
+    deadline and the admission queue absorb.  The spec is a frozen
+    value object (scalars only) so it can cross any worker handoff
+    boundary, in-process or pickled.
+    """
+
+    kind: str
+    first: int = 0
+    times: int = 1
+    hang_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_FAULT_KINDS:
+            raise ParameterError(
+                f"serve fault kind must be one of {SERVE_FAULT_KINDS}; "
+                f"got {self.kind!r}"
+            )
+
+    def fires(self, ordinal: int) -> bool:
+        """True when this spec targets predict request ``ordinal``."""
+        return int(self.first) <= ordinal < int(self.first) + int(self.times)
+
+
+def apply_serve_fault(fault: Optional[ServeFaultSpec], ordinal: int) -> None:
+    """Request-side fault application; runs on the serving thread.
+
+    Raises an untyped ``RuntimeError`` for ``kernel_error`` (the breaker
+    must treat it as a kernel failure precisely because it is not a
+    typed :class:`~repro.exceptions.ReproError`), sleeps for
+    ``kernel_hang``, and does nothing when no fault fires.
+    """
+    if fault is None or not fault.fires(ordinal):
+        return
+    if fault.kind == "kernel_hang":
+        time.sleep(fault.hang_s)
+        return
+    raise RuntimeError(
+        f"injected predict-kernel fault (request ordinal {ordinal})"
+    )
 
 
 def standard_fault_matrix(max_combination: int = 2) -> List[FaultPlan]:

@@ -76,6 +76,7 @@ import numpy as np
 
 from ..exceptions import CheckpointError, ParameterError
 from ..obs import get_tracer
+from .atomicio import atomic_write
 from .guards import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
@@ -304,9 +305,8 @@ class RunCheckpoint:
                 for i, e in sorted(self.entries.items())
             },
         }
-        tmp = self._manifest_path().with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        os.replace(tmp, self._manifest_path())
+        with atomic_write(self._manifest_path()) as tmp:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
 
     def _load_manifest(self) -> None:
         path = self._manifest_path()
@@ -352,10 +352,10 @@ class RunCheckpoint:
         """Persist one completed restart, atomically, then the manifest."""
         from ..core.serialization import save_result
 
+        # save_result stages through the same atomic_write helper, so
+        # the payload is already torn-write-proof under its final name
         name = f"restart_{index:05d}.npz"
-        tmp = self.directory / f"restart_{index:05d}.tmp.npz"
-        save_result(result, tmp)
-        os.replace(tmp, self.directory / name)
+        save_result(result, self.directory / name)
         self.entries[index] = _CheckpointEntry(
             file=name, seconds=float(seconds), notes=list(notes),
             seed_token=self.seed_tokens[index],
@@ -378,7 +378,8 @@ class RunCheckpoint:
             path = self.directory / entry.file
             try:
                 result = load_result(path)
-            except (OSError, ValueError, KeyError, DataError):
+            except (OSError, ValueError, KeyError, DataError,
+                    CheckpointError):
                 self.discarded += 1
                 del self.entries[index]
                 continue

@@ -1,0 +1,58 @@
+"""Model serving: the hardened PROCLUS query server and its client.
+
+The production half of the reproduction: once a projected clustering is
+fitted and saved (atomically, fingerprinted — see
+:mod:`repro.core.serialization`), this package serves point-assignment
+queries over HTTP with the failure-handling a real deployment needs:
+
+* :mod:`~repro.serve.server` — threaded HTTP daemon with per-request
+  wall-clock deadlines threaded into the chunked predict kernel,
+  structured JSON error bodies, hot model reload by atomic pointer
+  swap, ``/healthz`` / ``/readyz`` probes, and SIGINT/SIGTERM graceful
+  drain (second signal hard-exits 130);
+* :mod:`~repro.serve.admission` — bounded concurrency + queue gate;
+  overload is shed with 429 and ``Retry-After`` instead of queueing
+  unboundedly;
+* :mod:`~repro.serve.breaker` — per-model circuit breaker on the
+  monotonic clock: consecutive untyped kernel failures open it (503),
+  a single half-open probe closes it again;
+* :mod:`~repro.serve.client` — retrying client with jittered
+  exponential backoff, ``Retry-After`` honouring, and a total-deadline
+  cap.
+
+Serving is deterministic where it matters: the predict path is the
+refinement phase's own kernel, so served labels are bit-identical to
+``result.labels`` on the training data and identical with tracing on
+or off.  All timing goes through ``repro.obs.clock.monotonic_s``.
+
+Quickstart::
+
+    from repro.serve import ProclusServer, ServerConfig, PredictClient
+    server = ProclusServer(ServerConfig(port=0), model_path="model.npz")
+    server.start()
+    client = PredictClient(port=server.port)
+    labels = client.predict(points)["labels"]
+    server.drain_and_stop()
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController
+from .breaker import (BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN,
+                      CircuitBreaker)
+from .client import PredictClient, RetryPolicy
+from .server import LoadedModel, ModelStore, ProclusServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "PredictClient",
+    "RetryPolicy",
+    "LoadedModel",
+    "ModelStore",
+    "ProclusServer",
+    "ServerConfig",
+]

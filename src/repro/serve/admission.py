@@ -1,0 +1,148 @@
+"""Bounded admission control for the query server.
+
+The predict kernel is CPU-bound, so running more than a handful of
+batches concurrently only adds context-switch overhead and memory
+pressure; and an unbounded backlog converts a load spike into unbounded
+latency for *everyone* (every queued request eventually times out
+anyway).  The controller therefore enforces two small numbers:
+
+* ``max_concurrency`` — predict batches allowed in the kernel at once;
+* ``max_queue`` — requests allowed to *wait* for a slot.
+
+A request beyond both limits is **shed immediately** — the server maps
+that to HTTP 429 with ``Retry-After`` — which keeps the latency of
+admitted requests bounded and tells well-behaved clients exactly when
+to come back.  Shedding early is the robust choice: a clustered answer
+a client has already given up on is pure waste.
+
+The controller also owns the **drain barrier**: on SIGTERM the server
+stops admitting and calls :meth:`AdmissionController.wait_idle`, which
+blocks until the last in-flight batch finishes (or the drain budget
+expires).  In-flight work is never cancelled — partial batches are the
+one thing the serving contract forbids.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional
+
+from ..exceptions import ParameterError
+from ..robustness.guards import Deadline
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Concurrency-slot + bounded-wait-queue gate for predict requests.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Requests allowed past :meth:`acquire` at the same time (>= 1).
+    max_queue:
+        Requests allowed to block *waiting* for a slot (>= 0; 0 means
+        shed the moment every slot is busy).
+    """
+
+    def __init__(self, max_concurrency: int = 4, max_queue: int = 16) -> None:
+        if max_concurrency < 1:
+            raise ParameterError(
+                f"max_concurrency must be >= 1; got {max_concurrency}")
+        if max_queue < 0:
+            raise ParameterError(f"max_queue must be >= 0; got {max_queue}")
+        self.max_concurrency = int(max_concurrency)
+        self.max_queue = int(max_queue)
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._admitted_total = 0
+        self._shed_total = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout_s: Optional[float] = None) -> bool:
+        """Claim a slot; ``True`` when admitted, ``False`` when shed.
+
+        Shedding happens either immediately (queue full) or when
+        ``timeout_s`` expires while waiting — a request whose deadline
+        passed in the queue must not reach the kernel.  Every ``True``
+        must be paired with exactly one :meth:`release`.
+        """
+        deadline = Deadline.start(timeout_s)
+        with self._cond:
+            if self._active < self.max_concurrency:
+                self._active += 1
+                self._admitted_total += 1
+                return True
+            if self._waiting >= self.max_queue:
+                self._shed_total += 1
+                return False
+            self._waiting += 1
+            try:
+                while self._active >= self.max_concurrency:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        self._shed_total += 1
+                        return False
+                    self._cond.wait(
+                        None if math.isinf(remaining) else remaining)
+                self._active += 1
+                self._admitted_total += 1
+                return True
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        """Return a slot claimed by a successful :meth:`acquire`."""
+        with self._cond:
+            if self._active <= 0:
+                raise ParameterError(
+                    "release() without a matching successful acquire()")
+            self._active -= 1
+            self._cond.notify_all()
+
+    def wait_idle(self, budget_s: Optional[float] = None) -> bool:
+        """Block until no request is in flight; the drain barrier.
+
+        Returns ``True`` when the controller went idle within
+        ``budget_s`` seconds, ``False`` when the budget expired with
+        work still in flight (the server then reports an unclean drain).
+        """
+        deadline = Deadline.start(budget_s)
+        with self._cond:
+            while self._active > 0:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(None if math.isinf(remaining) else remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a slot."""
+        with self._cond:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        with self._cond:
+            return self._waiting
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly counters for ``/stats``."""
+        with self._cond:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+                "inflight": self._active,
+                "queued": self._waiting,
+                "admitted_total": self._admitted_total,
+                "shed_total": self._shed_total,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AdmissionController(inflight={self.inflight}, "
+                f"queued={self.queued})")

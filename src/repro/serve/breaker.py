@@ -1,0 +1,161 @@
+"""Per-model circuit breaker for the query server.
+
+A projected-clustering model server has exactly one expensive dependency
+— the predict kernel — and when that dependency starts failing
+(corrupted model memory, a numpy regression, an injected chaos fault)
+every admitted request burns a concurrency slot to produce another 500.
+The breaker converts that failure mode into fast, explicit rejection:
+
+* **CLOSED** — normal operation; consecutive kernel failures are
+  counted, and :attr:`~CircuitBreaker.failure_threshold` of them in a
+  row open the circuit.
+* **OPEN** — every request is rejected up front (the server maps this
+  to HTTP 503 with a ``Retry-After`` hint) until
+  :attr:`~CircuitBreaker.reset_after_s` seconds have passed on the
+  monotonic clock.
+* **HALF_OPEN** — exactly one probe request is let through.  Success
+  closes the circuit and clears the failure count; failure reopens it
+  and restarts the timer.
+
+Only *untyped* errors count as failures: a
+:class:`~repro.exceptions.ParameterError` for a malformed batch or a
+:class:`~repro.exceptions.BudgetExceededError` for an expired deadline
+says nothing about kernel health, so the server never records those.
+All timing goes through :func:`repro.obs.clock.monotonic_s` (the
+sanctioned seam — wall clocks can step backwards and would reopen or
+close circuits spuriously), and every transition is thread-safe: the
+server's handler threads share one breaker per loaded model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict
+
+from ..exceptions import ParameterError
+from ..obs.clock import monotonic_s
+
+__all__ = ["BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
+           "CircuitBreaker"]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe CLOSED → OPEN → HALF_OPEN breaker on a monotonic timer.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive :meth:`record_failure` calls (with no intervening
+        :meth:`record_success`) that open the circuit.
+    reset_after_s:
+        Seconds the circuit stays open before a half-open probe is
+        allowed.
+    clock:
+        Monotonic-seconds source; injectable so chaos tests can drive
+        state transitions without sleeping.  Defaults to the library's
+        sanctioned seam :func:`repro.obs.clock.monotonic_s`.
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_after_s: float = 30.0,
+                 clock: Callable[[], float] = monotonic_s) -> None:
+        if failure_threshold < 1:
+            raise ParameterError(
+                f"failure_threshold must be >= 1; got {failure_threshold}")
+        if reset_after_s < 0:
+            raise ParameterError(
+                f"reset_after_s must be >= 0; got {reset_after_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        self._n_opens = 0
+        self._n_rejections = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, refreshing the OPEN → HALF_OPEN timer first."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed to the kernel right now?
+
+        In HALF_OPEN only one caller gets ``True`` (the probe); everyone
+        else is rejected until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN and not self._probe_outstanding:
+                self._probe_outstanding = True
+                return True
+            self._n_rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """A kernel call completed: close the circuit, clear the count."""
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        """An *untyped* kernel failure: count it, maybe open the circuit.
+
+        A failed HALF_OPEN probe reopens immediately regardless of the
+        threshold — the dependency just proved it is still broken.
+        """
+        with self._lock:
+            self._consecutive_failures += 1
+            if (self._state == BREAKER_HALF_OPEN
+                    or self._consecutive_failures >= self.failure_threshold):
+                if self._state != BREAKER_OPEN:
+                    self._n_opens += 1
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._probe_outstanding = False
+
+    def retry_after_s(self) -> float:
+        """Seconds until a half-open probe will be allowed (0 unless OPEN)."""
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return 0.0
+            return max(0.0, self.reset_after_s
+                       - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly state for ``/stats`` and drain logging."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_after_s": self.reset_after_s,
+                "opens": self._n_opens,
+                "rejections": self._n_rejections,
+            }
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self) -> None:
+        """Lock held: move OPEN to HALF_OPEN once the timer has elapsed."""
+        if (self._state == BREAKER_OPEN
+                and self._clock() - self._opened_at >= self.reset_after_s):
+            self._state = BREAKER_HALF_OPEN
+            self._probe_outstanding = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self._consecutive_failures})")
