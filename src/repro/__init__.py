@@ -35,6 +35,7 @@ from .core import (
     ProclusConfig,
     ProclusResult,
     load_result,
+    load_result_with_fingerprint,
     predict_points,
     proclus,
     result_fingerprint,
@@ -67,6 +68,7 @@ __all__ = [
     "predict_points",
     "save_result",
     "load_result",
+    "load_result_with_fingerprint",
     "result_fingerprint",
     "Dataset",
     "OUTLIER_LABEL",

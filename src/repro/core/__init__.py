@@ -53,7 +53,8 @@ from .predict import PredictReport, predict_points
 from .proclus import Proclus, proclus
 from .refinement import refine_clusters
 from .result import ProclusResult
-from .serialization import load_result, result_fingerprint, save_result
+from .serialization import (load_result, load_result_with_fingerprint,
+                            result_fingerprint, save_result)
 from .tuning import SweepResult, sweep_k, sweep_l
 
 __all__ = [
@@ -86,6 +87,7 @@ __all__ = [
     "PredictReport",
     "save_result",
     "load_result",
+    "load_result_with_fingerprint",
     "result_fingerprint",
     "sweep_l",
     "sweep_k",

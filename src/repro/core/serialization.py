@@ -28,7 +28,7 @@ import hashlib
 import json
 import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -36,7 +36,8 @@ from ..exceptions import CheckpointError, DataError
 from ..robustness.atomicio import atomic_write
 from .result import ProclusResult
 
-__all__ = ["save_result", "load_result", "result_fingerprint"]
+__all__ = ["save_result", "load_result", "load_result_with_fingerprint",
+           "result_fingerprint"]
 
 PathLike = Union[str, Path]
 
@@ -122,6 +123,21 @@ def load_result(path: PathLike) -> ProclusResult:
         The file is a well-formed archive but not a saved
         :class:`ProclusResult`, or its format version is unreadable.
     """
+    return load_result_with_fingerprint(path)[0]
+
+
+def load_result_with_fingerprint(
+        path: PathLike) -> Tuple[ProclusResult, str]:
+    """Like :func:`load_result`, plus the file's content fingerprint.
+
+    The fingerprint comes from the *same single read* as the arrays —
+    callers that need both (the query server pairing responses with a
+    model identity) must not re-read the file, because a concurrent
+    atomic replace between two reads would pair one file's arrays with
+    another file's fingerprint.  For version-2 files this is the stored
+    (and verified) sha256; for legacy version-1 files it is computed
+    from the loaded content.
+    """
     path = Path(path)
     try:
         with np.load(path, allow_pickle=False) as data:
@@ -152,16 +168,15 @@ def load_result(path: PathLike) -> ProclusResult:
             f"{path} has format version {version}; this library reads "
             f"versions {list(_READABLE_VERSIONS)}"
         )
-    if version >= 2:
-        expected = _content_fingerprint(labels, medoids, medoid_indices,
-                                        meta_json)
-        if stored_fingerprint != expected:
-            raise CheckpointError(
-                f"saved result {path} fails its content fingerprint check "
-                f"(stored {stored_fingerprint!r}); the file was tampered "
-                "with or corrupted after the save"
-            )
-    return ProclusResult(
+    fingerprint = _content_fingerprint(labels, medoids, medoid_indices,
+                                       meta_json)
+    if version >= 2 and stored_fingerprint != fingerprint:
+        raise CheckpointError(
+            f"saved result {path} fails its content fingerprint check "
+            f"(stored {stored_fingerprint!r}); the file was tampered "
+            "with or corrupted after the save"
+        )
+    result = ProclusResult(
         labels=labels,
         medoids=medoids,
         medoid_indices=medoid_indices,
@@ -180,6 +195,7 @@ def load_result(path: PathLike) -> ProclusResult:
         fault_tolerance=meta.get("fault_tolerance"),
         profile=meta.get("profile"),
     )
+    return result, fingerprint
 
 
 def result_fingerprint(path: PathLike) -> str:

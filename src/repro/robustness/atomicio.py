@@ -14,6 +14,13 @@ rename cannot cross a device boundary) and moved into place with
 reader observes either the complete old file or the complete new file,
 never a mixture.  On failure the temporary file is removed and the
 destination is untouched.
+
+Atomicity alone only covers crashes of the *writer process*; it says
+nothing about power loss, where the rename can reach disk before the
+data it points at.  So before the replace the temporary file is
+``fsync``'d, and afterwards the parent directory is too (where the
+platform allows opening directories) — the destination durably holds
+either the old payload or the complete new one.
 """
 
 from __future__ import annotations
@@ -46,10 +53,38 @@ def atomic_write(path: PathLike, *, suffix: str = ".tmp") -> Iterator[Path]:
     tmp = path.with_name(f"{path.name}{suffix}.{os.getpid()}")
     try:
         yield tmp
+        # flush the payload to stable storage *before* publishing the
+        # name: without this, a power loss can persist the rename but
+        # not the data, leaving the destination durably truncated
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         os.replace(tmp, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             tmp.unlink()
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename by syncing its directory entry (best effort).
+
+    Windows cannot open directories at all, and some filesystems reject
+    ``fsync`` on a directory fd — neither failure can un-publish the
+    already-completed ``os.replace``, so both are swallowed.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -111,6 +111,21 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             self._probe_outstanding = False
 
+    def abandon_probe(self) -> None:
+        """An admitted call ended with no kernel verdict: free the probe.
+
+        A HALF_OPEN probe can die of a *typed* error — a malformed
+        batch, an expired deadline — before the kernel ever runs.  That
+        says nothing about kernel health, so neither
+        :meth:`record_success` nor :meth:`record_failure` applies; but
+        the probe slot must be returned, or the circuit would sit in
+        HALF_OPEN rejecting every request forever (the OPEN→HALF_OPEN
+        timer never fires again).  State is unchanged; the next
+        :meth:`allow` hands the probe to another caller.
+        """
+        with self._lock:
+            self._probe_outstanding = False
+
     def record_failure(self) -> None:
         """An *untyped* kernel failure: count it, maybe open the circuit.
 
@@ -141,6 +156,7 @@ class CircuitBreaker:
             self._maybe_half_open()
             return {
                 "state": self._state,
+                "probe_outstanding": self._probe_outstanding,
                 "consecutive_failures": self._consecutive_failures,
                 "failure_threshold": self.failure_threshold,
                 "reset_after_s": self.reset_after_s,

@@ -138,7 +138,7 @@ class PredictClient:
         try:
             status, _, _ = self._once("GET", "/readyz", None, {},
                                       self.request_timeout_s)
-        except OSError:
+        except (OSError, http.client.HTTPException):
             return False
         return status == 200
 
@@ -190,7 +190,10 @@ class PredictClient:
             try:
                 status, resp_headers, obj = self._once(
                     method, path, payload, headers, timeout_s)
-            except OSError as exc:
+            except (OSError, http.client.HTTPException) as exc:
+                # HTTPException covers garbled/truncated responses
+                # (BadStatusLine, IncompleteRead) that are not OSErrors;
+                # both are transport failures, so both retry
                 last_failure = f"connection failed: {exc}"
             else:
                 if status < 300:

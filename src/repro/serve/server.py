@@ -52,7 +52,7 @@ import numpy as np
 from ..core.predict import normalize_dimension_sets, predict_points
 from ..core.refinement import spheres_of_influence
 from ..core.result import ProclusResult
-from ..core.serialization import load_result, result_fingerprint
+from ..core.serialization import load_result_with_fingerprint
 from ..exceptions import (BudgetExceededError, CheckpointError, DataError,
                           ParameterError, ReproError, ServeError)
 from ..obs import get_tracer
@@ -191,8 +191,10 @@ class ModelStore:
         a corrupt file (:class:`~repro.exceptions.CheckpointError`)
         leaves the store untouched.
         """
-        result = load_result(path)
-        fingerprint = result_fingerprint(path)
+        # one read supplies both the arrays and the fingerprint — two
+        # reads could straddle a concurrent atomic replace and pair the
+        # old model with the new file's identity
+        result, fingerprint = load_result_with_fingerprint(path)
         dim_sets = tuple(normalize_dimension_sets(
             result.dimensions, result.k, int(result.medoids.shape[1])))
         spheres = spheres_of_influence(result.medoids, dim_sets)
@@ -498,31 +500,46 @@ class ProclusServer:
                     "predict kernel circuit breaker is open"), {
                     "Retry-After": self._retry_after_header()}
             ordinal = self._next_ordinal()
+            # every admitted call must resolve the breaker's half-open
+            # probe: success/failure where the kernel gave a verdict,
+            # abandon_probe when a typed error (deadline, bad batch)
+            # ended the call before the kernel's health was exercised —
+            # otherwise the probe slot leaks and the circuit would stay
+            # HALF_OPEN, rejecting everything, until restart
+            verdict_recorded = False
             try:
-                apply_serve_fault(self._fault, ordinal)
-                deadline.check("predict request")
-                report = predict_points(
-                    obj["points"], model.result.medoids, model.dim_sets,
-                    spheres=model.spheres, on_bad_values=on_bad,
-                    max_points=cfg.max_points, chunk_size=cfg.chunk_size,
-                    memory_budget_bytes=cfg.memory_budget_bytes,
-                    deadline=deadline)
-            except BudgetExceededError as exc:
-                self._count("deadline_exceeded")
-                return 504, _error_payload("deadline_exceeded", str(exc)), {}
-            except (ParameterError, DataError) as exc:
-                self._count("invalid_requests")
-                return 400, _error_payload("invalid_request", str(exc)), {}
-            except ReproError as exc:
-                # typed but unexpected here — still not a kernel failure
-                self._count("invalid_requests")
-                return 400, _error_payload(type(exc).__name__, str(exc)), {}
-            except Exception as exc:  # noqa: BLE001 - breaker accounting
-                self.breaker.record_failure()
-                self._count("kernel_failures")
-                return 500, _error_payload(
-                    "internal", f"predict kernel failed: {exc}"), {}
-            self.breaker.record_success()
+                try:
+                    apply_serve_fault(self._fault, ordinal)
+                    deadline.check("predict request")
+                    report = predict_points(
+                        obj["points"], model.result.medoids, model.dim_sets,
+                        spheres=model.spheres, on_bad_values=on_bad,
+                        max_points=cfg.max_points, chunk_size=cfg.chunk_size,
+                        memory_budget_bytes=cfg.memory_budget_bytes,
+                        deadline=deadline)
+                except BudgetExceededError as exc:
+                    self._count("deadline_exceeded")
+                    return 504, _error_payload(
+                        "deadline_exceeded", str(exc)), {}
+                except (ParameterError, DataError) as exc:
+                    self._count("invalid_requests")
+                    return 400, _error_payload("invalid_request", str(exc)), {}
+                except ReproError as exc:
+                    # typed but unexpected here — still not a kernel failure
+                    self._count("invalid_requests")
+                    return 400, _error_payload(type(exc).__name__,
+                                               str(exc)), {}
+                except Exception as exc:  # noqa: BLE001 - breaker accounting
+                    self.breaker.record_failure()
+                    verdict_recorded = True
+                    self._count("kernel_failures")
+                    return 500, _error_payload(
+                        "internal", f"predict kernel failed: {exc}"), {}
+                self.breaker.record_success()
+                verdict_recorded = True
+            finally:
+                if not verdict_recorded:
+                    self.breaker.abandon_probe()
             self._count("predictions")
             tracer = get_tracer()
             if tracer.enabled:
@@ -594,20 +611,28 @@ class ProclusServer:
                 f"request body of {length} bytes exceeds the "
                 f"{self.config.max_body_bytes}-byte limit")
         data = bytearray()
-        while len(data) < length:
-            remaining_s = deadline.remaining()
-            if remaining_s <= 0:
-                raise BudgetExceededError(
-                    "request deadline expired while reading the body")
-            # per-read socket timeout: a dribbling client cannot hold the
-            # thread past its own deadline
-            handler.connection.settimeout(remaining_s)
-            chunk = handler.rfile.read(min(65536, length - len(data)))
-            if not chunk:
-                raise ParameterError(
-                    f"request body truncated at {len(data)} of {length} "
-                    "bytes")
-            data.extend(chunk)
+        try:
+            while len(data) < length:
+                remaining_s = deadline.remaining()
+                if remaining_s <= 0:
+                    raise BudgetExceededError(
+                        "request deadline expired while reading the body")
+                # per-read socket timeout: a dribbling client cannot hold
+                # the thread past its own deadline
+                handler.connection.settimeout(remaining_s)
+                chunk = handler.rfile.read(min(65536, length - len(data)))
+                if not chunk:
+                    raise ParameterError(
+                        f"request body truncated at {len(data)} of {length} "
+                        "bytes")
+                data.extend(chunk)
+        finally:
+            # the response write must not inherit whatever sliver of
+            # deadline the last body read left on the socket
+            try:
+                handler.connection.settimeout(self.config.header_timeout_s)
+            except OSError:
+                pass
         return bytes(data)
 
     def _retry_after_header(self) -> str:

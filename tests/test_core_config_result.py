@@ -112,6 +112,17 @@ class TestResultSerialization:
         with pytest.raises(DataError, match="not a saved ProclusResult"):
             load_result(path)
 
+    def test_load_with_fingerprint_single_read(self, tmp_path):
+        # the serving path needs arrays + identity from ONE read; the
+        # combined loader must agree with the standalone fingerprint
+        from repro.core import (load_result, load_result_with_fingerprint,
+                                result_fingerprint, save_result)
+        path = tmp_path / "fp.npz"
+        save_result(make_result(), path)
+        result, fingerprint = load_result_with_fingerprint(path)
+        assert fingerprint == result_fingerprint(path)
+        assert np.array_equal(result.labels, load_result(path).labels)
+
     def test_fitted_result_round_trip(self, tmp_path):
         """Save/load the result of an actual fit."""
         from repro import proclus

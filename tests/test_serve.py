@@ -98,6 +98,26 @@ class TestCircuitBreaker:
         assert breaker.state == BREAKER_OPEN
         assert breaker.retry_after_s() == pytest.approx(1.0)
 
+    def test_abandoned_probe_frees_the_slot(self):
+        # a probe that ends in a typed error (no kernel verdict) must
+        # release the half-open slot, or the circuit wedges forever
+        breaker, clock = self.make(threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.now += 2.0
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.abandon_probe()
+        assert breaker.state == BREAKER_HALF_OPEN  # state unchanged
+        assert breaker.allow()  # the probe is available again
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_abandon_probe_outside_half_open_is_a_no_op(self):
+        breaker, _ = self.make()
+        breaker.abandon_probe()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
     def test_retry_after_counts_down(self):
         breaker, clock = self.make(threshold=1, reset=10.0)
         breaker.record_failure()
@@ -411,6 +431,43 @@ class TestPredictClient:
         with pytest.raises(ServeError, match="2 attempt"):
             client.predict([[0.0]])
         assert not client.ready()
+
+    def test_garbled_response_is_typed_and_retried(self):
+        # a non-HTTP reply raises http.client.BadStatusLine, which is
+        # not an OSError — the client must still treat it as a transport
+        # failure: retry it, then fail with a typed ServeError
+        import socket
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(5)
+        port = listener.getsockname()[1]
+        served = {"n": 0}
+        stop = threading.Event()
+
+        def garble() -> None:
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return
+                with conn:
+                    served["n"] += 1
+                    conn.recv(65536)
+                    conn.sendall(b"!!not http!!\r\n")
+
+        thread = threading.Thread(target=garble, daemon=True)
+        thread.start()
+        try:
+            client = PredictClient(
+                port=port, seed=1,
+                policy=RetryPolicy(max_attempts=2, base_backoff_s=0.01))
+            with pytest.raises(ServeError, match="2 attempt"):
+                client.predict([[0.0]])
+            assert served["n"] == 2, "the garbled reply must be retried"
+        finally:
+            stop.set()
+            listener.close()
+            thread.join(timeout=5.0)
 
     def test_total_deadline_caps_retries(self):
         import socket

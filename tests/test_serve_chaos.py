@@ -207,6 +207,33 @@ class TestCircuitBreakerChaos:
         finally:
             srv.drain_and_stop(drain_s=2.0)
 
+    def test_typed_probe_error_does_not_wedge_half_open(self, model_env):
+        # regression: a half-open probe that dies of a *typed* error
+        # (here a malformed batch, 400) records neither success nor
+        # failure — the probe slot must be abandoned, or the circuit
+        # sits in HALF_OPEN rejecting every request until restart
+        ds, result, path = model_env
+        srv = make_server(path, breaker_threshold=1, breaker_reset_s=0.2)
+        srv.set_fault(ServeFaultSpec("kernel_error", first=0, times=1))
+        try:
+            batch = {"points": ds.points[:3].tolist()}
+            assert post_json(srv.port, "/predict", batch)[0] == 500
+            assert srv.breaker.state == BREAKER_OPEN
+            time.sleep(0.25)
+            # the probe is a wrong-dimensionality batch: typed 400
+            status, _, body = post_json(srv.port, "/predict",
+                                        {"points": [[1.0, 2.0]]})
+            assert status == 400
+            assert body["error"]["type"] == "invalid_request"
+            # the freed probe lets the next good request heal the server
+            status, _, body = post_json(srv.port, "/predict", batch)
+            assert status == 200
+            assert np.array_equal(np.asarray(body["labels"]),
+                                  result.labels[:3])
+            assert srv.breaker.state == BREAKER_CLOSED
+        finally:
+            assert srv.drain_and_stop(drain_s=2.0)
+
     def test_typed_errors_do_not_trip_the_breaker(self, model_env):
         _, _, path = model_env
         srv = make_server(path, breaker_threshold=1)
